@@ -1,0 +1,84 @@
+// Command soiosm converts an OpenStreetMap XML extract into the CSV
+// dataset format of the other tools, so real city data can replace the
+// synthetic generator:
+//
+//	soiosm -in extract.osm -out ./data/city
+//	soiquery -data ./data/city -keywords cafe -k 10
+//
+// Streets come from highway-tagged ways; POIs from nodes carrying
+// amenity/shop/tourism/leisure/religion tags. Photos are not part of OSM;
+// an empty photos.csv is written so the directory loads, and a real
+// photo layer can be dropped in alongside.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dataio"
+	"repro/internal/osm"
+	"repro/internal/photo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("soiosm: ")
+	var (
+		in       = flag.String("in", "", "OSM XML extract to read (required)")
+		out      = flag.String("out", ".", "output dataset directory")
+		highways = flag.String("highways", "", "comma-separated highway classes to keep (empty = all)")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("provide -in extract.osm")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	var opts osm.Options
+	if *highways != "" {
+		for _, h := range strings.Split(*highways, ",") {
+			if t := strings.TrimSpace(h); t != "" {
+				opts.Highways = append(opts.Highways, t)
+			}
+		}
+	}
+	net, pois, stats, err := osm.ParseXML(bufio.NewReader(f), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name string, fill func(*bufio.Writer) error) {
+		f, err := os.Create(filepath.Join(*out, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		if err := fill(w); err != nil {
+			log.Fatalf("writing %s: %v", name, err)
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	write("streets.csv", func(w *bufio.Writer) error { return dataio.WriteNetwork(w, net) })
+	write("pois.csv", func(w *bufio.Writer) error { return dataio.WritePOIs(w, pois) })
+	write("photos.csv", func(w *bufio.Writer) error {
+		return dataio.WritePhotos(w, photo.NewBuilder(pois.Dict()).Build())
+	})
+	fmt.Println(stats)
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,153 @@
+// Command soiquery evaluates k-SOI and street-description queries over a
+// CSV dataset produced by soigen (or hand-authored in the same format).
+//
+// Identify the top shopping streets:
+//
+//	soiquery -data ./data/berlin -keywords shop -k 20
+//
+// Describe one street with a 4-photo diversified summary:
+//
+//	soiquery -data ./data/berlin -describe "Neue Schönhauser Straße" -photos 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataio"
+	"repro/internal/diversify"
+	"repro/internal/geojson"
+	"repro/internal/network"
+	"repro/internal/photo"
+	"repro/internal/vocab"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("soiquery: ")
+	var (
+		dataDir  = flag.String("data", ".", "directory holding streets.csv, pois.csv, photos.csv")
+		keywords = flag.String("keywords", "", "comma-separated query keywords Ψ")
+		k        = flag.Int("k", 10, "number of streets (or photos with -describe)")
+		eps      = flag.Float64("eps", 0.0005, "distance threshold ε in coordinate degrees")
+		baseline = flag.Bool("baseline", false, "evaluate with the exact baseline BL instead of SOI")
+		describe = flag.String("describe", "", "street name to describe with a photo summary")
+		photosK  = flag.Int("photos", 4, "summary size for -describe")
+		lambda   = flag.Float64("lambda", 0.5, "relevance/diversity trade-off λ for -describe")
+		wWeight  = flag.Float64("w", 0.5, "spatial/textual weight w for -describe")
+		rho      = flag.Float64("rho", 0.0001, "spatial relevance radius ρ for -describe")
+		geoOut   = flag.String("geojson", "", "also write the result as GeoJSON to this file")
+	)
+	flag.Parse()
+
+	net, pois, photos, dict, err := dataio.LoadDir(*dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *describe != "" {
+		if err := runDescribe(net, photos, dict, *describe, *photosK, *lambda, *wWeight, *rho, *eps, *geoOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *keywords == "" {
+		log.Fatal("provide -keywords for identification or -describe for description")
+	}
+	ix, err := core.NewIndex(net, pois, core.IndexConfig{CellSize: *eps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := core.Query{Keywords: splitCSVList(*keywords), K: *k, Epsilon: *eps}
+	var (
+		res   []core.StreetResult
+		stats core.Stats
+	)
+	if *baseline {
+		res, stats, err = ix.Baseline(q)
+	} else {
+		res, stats, err = ix.SOI(q)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-%d streets for Ψ=%v (ε=%g), evaluated in %v:\n", *k, q.Keywords, *eps, stats.Total())
+	for i, r := range res {
+		fmt.Printf("%3d. %-40s interest %.1f (best-segment mass %.0f)\n", i+1, r.Name, r.Interest, r.Mass)
+	}
+	if len(res) == 0 {
+		fmt.Println("no street matches the query keywords")
+	}
+	if *geoOut != "" {
+		fc := geojson.NewCollection()
+		fc.AddStreets(net, res)
+		if err := writeGeoJSON(*geoOut, fc); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *geoOut)
+	}
+}
+
+func writeGeoJSON(path string, fc *geojson.FeatureCollection) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fc.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runDescribe(net *network.Network, photos *photo.Corpus, dict *vocab.Dictionary,
+	name string, k int, lambda, w, rho, eps float64, geoOut string) error {
+	st := net.StreetByName(name)
+	if st == nil {
+		return fmt.Errorf("unknown street %q", name)
+	}
+	rs, maxD := diversify.ExtractStreetPhotos(net, st.ID, photos, eps)
+	if len(rs) == 0 {
+		return fmt.Errorf("street %q has no photos within ε=%g", name, eps)
+	}
+	ctx, err := diversify.NewContext(rs, diversify.FreqFromPhotos(dict, rs), maxD, rho)
+	if err != nil {
+		return err
+	}
+	res, err := ctx.STRelDiv(diversify.Params{K: k, Lambda: lambda, W: w, Rho: rho})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d-photo summary of %q (|Rs|=%d, λ=%g, w=%g, F=%.3f, %v):\n",
+		len(res.Selected), name, len(rs), lambda, w, res.Objective, res.Stats.Elapsed)
+	for i, idx := range res.Selected {
+		p := rs[idx]
+		fmt.Printf("%2d. (%.6f, %.6f) tags: %s\n", i+1, p.Loc.X, p.Loc.Y,
+			strings.Join(dict.Names(p.Tags), ", "))
+	}
+	if geoOut != "" {
+		fc := geojson.NewCollection()
+		fc.AddSummary(name, rs, dict, res)
+		if err := writeGeoJSON(geoOut, fc); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", geoOut)
+	}
+	return nil
+}
+
+func splitCSVList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+// Command soiserve serves k-SOI, description and tour queries over HTTP
+// for online exploration. It loads a CSV dataset (see soigen) or
+// generates a synthetic city on startup.
+//
+//	soiserve -city berlin -scale 0.25 -addr :8080
+//	soiserve -data ./data/berlin -addr :8080
+//
+// Endpoints:
+//
+//	GET /api/stats
+//	GET /api/streets?keywords=shop&k=10&eps=0.0005
+//	GET /api/describe?street=Friedrichstraße&k=4
+//	GET /api/tour?keywords=shop&k=10&budget=0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	soi "repro"
+	"repro/internal/datagen"
+	"repro/internal/dataio"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("soiserve: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		city    = flag.String("city", "", "generate a synthetic city: london, berlin, vienna, small")
+		scale   = flag.Float64("scale", 0.25, "volume scale for -city")
+		dataDir = flag.String("data", "", "load a CSV dataset directory instead of generating")
+	)
+	flag.Parse()
+
+	eng, err := buildEngine(*city, *scale, *dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.Warm(soi.DefaultCellSize)
+	log.Printf("serving %d streets, %d POIs, %d photos on %s",
+		eng.NumStreets(), eng.NumPOIs(), eng.NumPhotos(), *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+func buildEngine(city string, scale float64, dataDir string) (*soi.Engine, error) {
+	switch {
+	case dataDir != "":
+		return loadEngine(dataDir)
+	case city != "":
+		var p datagen.Profile
+		switch strings.ToLower(city) {
+		case "london":
+			p = datagen.London()
+		case "berlin":
+			p = datagen.Berlin()
+		case "vienna":
+			p = datagen.Vienna()
+		case "small":
+			p = datagen.Small(1)
+		default:
+			return nil, fmt.Errorf("unknown city %q", city)
+		}
+		ds, err := datagen.Generate(datagen.Scale(p, scale))
+		if err != nil {
+			return nil, err
+		}
+		return soi.NewEngineFromCorpora(ds.Network, ds.POIs, ds.Photos, soi.Config{})
+	default:
+		return nil, fmt.Errorf("provide -city or -data")
+	}
+}
+
+func loadEngine(dir string) (*soi.Engine, error) {
+	net, pois, photos, _, err := dataio.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return soi.NewEngineFromCorpora(net, pois, photos, soi.Config{})
+}
+
+// newHandler wires the HTTP routes (internal/server).
+func newHandler(eng *soi.Engine) http.Handler {
+	return server.New(eng)
+}

@@ -1,0 +1,82 @@
+package soi_test
+
+import (
+	"fmt"
+	"log"
+
+	soi "repro"
+)
+
+// exampleEngine builds a deterministic toy town shared by the examples.
+func exampleEngine() *soi.Engine {
+	streets := []soi.StreetInput{
+		{Name: "Market Street", Polyline: []soi.Point{{X: 0, Y: 0}, {X: 0.002, Y: 0}, {X: 0.004, Y: 0}}},
+		{Name: "Church Lane", Polyline: []soi.Point{{X: 0, Y: 0.003}, {X: 0.002, Y: 0.003}}},
+	}
+	pois := []soi.POIInput{
+		{X: 0.0005, Y: 0.0001, Keywords: []string{"shop", "bakery"}},
+		{X: 0.0010, Y: -0.0002, Keywords: []string{"shop", "books"}},
+		{X: 0.0015, Y: 0.0002, Keywords: []string{"shop", "clothes"}},
+		{X: 0.0008, Y: 0.0031, Keywords: []string{"church"}},
+	}
+	photos := []soi.PhotoInput{
+		{X: 0.0006, Y: 0.0001, Tags: []string{"market", "bakery"}},
+		{X: 0.0007, Y: 0.0001, Tags: []string{"market", "bakery"}},
+		{X: 0.0030, Y: 0.0002, Tags: []string{"festival", "crowd"}},
+	}
+	eng, err := soi.NewEngine(streets, pois, photos, soi.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return eng
+}
+
+// ExampleEngine_TopStreets evaluates the paper's k-SOI query: the streets
+// with the highest density of query-relevant POIs.
+func ExampleEngine_TopStreets() {
+	eng := exampleEngine()
+	top, err := eng.TopStreets(soi.Query{Keywords: []string{"shop"}, K: 2, Epsilon: 0.0005})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range top {
+		fmt.Printf("%d. %s (mass %.0f)\n", i+1, s.Name, s.Mass)
+	}
+	// Output:
+	// 1. Market Street (mass 3)
+}
+
+// ExampleEngine_DescribeStreet builds a small diversified photo summary
+// (the paper's ST_Rel+Div algorithm) for a street.
+func ExampleEngine_DescribeStreet() {
+	eng := exampleEngine()
+	sum, err := eng.DescribeStreet("Market Street", soi.SummaryParams{K: 2, Epsilon: 0.0005})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d photos from %d candidates\n", len(sum.Photos), sum.CandidateCount)
+	// A relevant and a diverse photo: the duplicate pair contributes one.
+	fmt.Println(sum.Photos[0].Tags[0] != "" && len(sum.Photos) == 2)
+	// Output:
+	// 2 photos from 3 candidates
+	// true
+}
+
+// ExampleEngine_RecommendTour plans a walking tour over the discovered
+// streets of interest — the paper's future-work extension.
+func ExampleEngine_RecommendTour() {
+	eng := exampleEngine()
+	tour, err := eng.RecommendTour(
+		soi.Query{Keywords: []string{"shop", "church"}, K: 5, Epsilon: 0.0005},
+		1.0, // generous budget in coordinate units
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, stop := range tour.Stops {
+		fmt.Printf("%d. %s\n", i+1, stop.Street)
+	}
+	// Output:
+	// 1. Market Street
+	// 2. Church Lane
+}

@@ -1,0 +1,60 @@
+// Photosummary reproduces the paper's Figure 3 comparison: summarize the
+// photo street of a London-like city under three criteria — S_Rel (pure
+// spatial relevance), T_Rel (pure textual relevance) and ST_Rel+Div (the
+// paper's method) — and show how the first two collapse onto the photo
+// hotspot and the tag burst while ST_Rel+Div spans both plus the long
+// tail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/diversify"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 0.25, "dataset volume scale factor")
+	photosK := flag.Int("photos", 3, "summary size (the paper uses 3 for Figure 3)")
+	flag.Parse()
+
+	fmt.Println("Generating the London-like city...")
+	ds, err := datagen.Generate(datagen.Scale(datagen.London(), *scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	streetName := ds.Truth.PhotoStreet
+	st := ds.Network.StreetByName(streetName)
+	if st == nil {
+		log.Fatalf("photo street %q missing", streetName)
+	}
+	rs, maxD := diversify.ExtractStreetPhotos(ds.Network, st.ID, ds.Photos, 0.0005)
+	fmt.Printf("  %q has %d associated photos\n\n", streetName, len(rs))
+
+	ctx, err := diversify.NewContext(rs, diversify.FreqFromPhotos(ds.Dict, rs), maxD, 0.0001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := diversify.Params{K: *photosK, Lambda: 0.5, W: 0.5, Rho: 0.0001}
+
+	for _, v := range []diversify.Variant{diversify.SRel, diversify.TRel, diversify.STRelDivVariant} {
+		res, err := ctx.RunVariant(v, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (objective %.3f under the balanced score):\n", v, res.Objective)
+		for i, idx := range res.Selected {
+			p := rs[idx]
+			fmt.Printf("  %d. (%.5f, %.5f) %s\n", i+1, p.Loc.X, p.Loc.Y,
+				strings.Join(ds.Dict.Names(p.Tags), ", "))
+		}
+		fmt.Println()
+	}
+	fmt.Println("Note how S_Rel returns near-duplicates from the densest photo spot")
+	fmt.Println("(the paper's HMV storefront effect), T_Rel returns the event tag")
+	fmt.Println("burst (the demonstration effect), and ST_Rel+Div mixes sources.")
+}

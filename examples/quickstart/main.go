@@ -1,0 +1,62 @@
+// Quickstart: build an Engine from plain inputs, identify the most
+// interesting street for a keyword, and describe it with a diversified
+// photo summary — the two queries of the paper in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	soi "repro"
+)
+
+func main() {
+	// A toy town: two streets, a handful of shops, a few photos. All
+	// coordinates are planar degrees; 0.0005 ≈ 55 m.
+	streets := []soi.StreetInput{
+		{Name: "Market Street", Polyline: []soi.Point{{X: 0, Y: 0}, {X: 0.002, Y: 0}, {X: 0.004, Y: 0}}},
+		{Name: "Church Lane", Polyline: []soi.Point{{X: 0, Y: 0.003}, {X: 0.002, Y: 0.003}}},
+	}
+	pois := []soi.POIInput{
+		{X: 0.0005, Y: 0.0001, Keywords: []string{"shop", "bakery"}},
+		{X: 0.0010, Y: -0.0002, Keywords: []string{"shop", "books"}},
+		{X: 0.0015, Y: 0.0002, Keywords: []string{"shop", "clothes"}},
+		{X: 0.0021, Y: 0.0001, Keywords: []string{"shop"}},
+		{X: 0.0008, Y: 0.0031, Keywords: []string{"church"}},
+		{X: 0.0012, Y: 0.0029, Keywords: []string{"shop"}},
+	}
+	photos := []soi.PhotoInput{
+		{X: 0.0006, Y: 0.0001, Tags: []string{"market", "bakery", "morning"}},
+		{X: 0.0007, Y: 0.0001, Tags: []string{"market", "bakery", "morning"}},
+		{X: 0.0011, Y: -0.0001, Tags: []string{"market", "books"}},
+		{X: 0.0030, Y: 0.0002, Tags: []string{"market", "festival", "crowd"}},
+		{X: 0.0016, Y: 0.0001, Tags: []string{"clothes", "window"}},
+	}
+
+	eng, err := soi.NewEngine(streets, pois, photos, soi.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Task 1 — identify: the k-SOI query (Problem 1 of the paper).
+	top, err := eng.TopStreets(soi.Query{Keywords: []string{"shop"}, K: 2, Epsilon: 0.0005})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Streets of Interest for \"shop\":")
+	for i, s := range top {
+		fmt.Printf("  %d. %-15s interest %.0f (mass %.0f)\n", i+1, s.Name, s.Interest, s.Mass)
+	}
+
+	// Task 2 — describe: a diversified photo summary (Problem 2).
+	sum, err := eng.DescribeStreet(top[0].Name, soi.SummaryParams{K: 3, Epsilon: 0.0005})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d-photo summary of %s (from %d candidates, F=%.3f):\n",
+		len(sum.Photos), sum.Street, sum.CandidateCount, sum.Objective)
+	for i, p := range sum.Photos {
+		fmt.Printf("  %d. (%.4f, %.4f) %s\n", i+1, p.X, p.Y, strings.Join(p.Tags, ", "))
+	}
+}

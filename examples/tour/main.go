@@ -1,0 +1,52 @@
+// Tour demonstrates the paper's future-work extension: "to provide route
+// recommendations based on the discovered streets of interest"
+// (Section 6). It identifies the top shopping streets of a Vienna-like
+// city and plans a walking tour over them within a length budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	soi "repro"
+	"repro/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 0.25, "dataset volume scale factor")
+	budgetKm := flag.Float64("budget", 6.0, "walking budget in kilometers")
+	flag.Parse()
+
+	fmt.Println("Generating the Vienna-like city...")
+	ds, err := datagen.Generate(datagen.Scale(datagen.Vienna(), *scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := soi.NewEngineFromCorpora(ds.Network, ds.POIs, ds.Photos, soi.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const degPerKm = 0.0005 / 0.055 // ≈ 0.00909°/km at European latitudes
+	budget := *budgetKm * degPerKm
+	tour, err := eng.RecommendTour(
+		soi.Query{Keywords: []string{"shop"}, K: 10, Epsilon: 0.0005},
+		budget,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nA %.1f km shopping walk (of the %.1f km budget), total interest %.0f:\n\n",
+		tour.Length/degPerKm, *budgetKm, tour.Interest)
+	for i, s := range tour.Stops {
+		if i == 0 {
+			fmt.Printf("  start at   %-32s (interest %.0f)\n", s.Street, s.Interest)
+			continue
+		}
+		fmt.Printf("  walk %4.0f m to %-28s (interest %.0f)\n",
+			s.Walk/degPerKm*1000, s.Street, s.Interest)
+	}
+}

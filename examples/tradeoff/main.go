@@ -1,0 +1,56 @@
+// Tradeoff reproduces the paper's Figure 5 analysis: sweep the λ
+// parameter of the diversification objective on a Vienna-like city and
+// report how the summary's relevance falls as its diversity rises,
+// showing why λ = 0.5 sits at the knee of the curve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/datagen"
+	"repro/internal/diversify"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 0.5, "dataset volume scale factor")
+	photosK := flag.Int("photos", 20, "summary size (the paper's Figure 5 default)")
+	flag.Parse()
+
+	fmt.Println("Generating the Vienna-like city...")
+	ds, err := datagen.Generate(datagen.Scale(datagen.Vienna(), *scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	streetName := ds.Truth.PhotoStreet
+	st := ds.Network.StreetByName(streetName)
+	if st == nil {
+		log.Fatalf("photo street %q missing", streetName)
+	}
+	rs, maxD := diversify.ExtractStreetPhotos(ds.Network, st.ID, ds.Photos, 0.0005)
+	ctx, err := diversify.NewContext(rs, diversify.FreqFromPhotos(ds.Dict, rs), maxD, 0.0001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  summarizing %q (%d candidate photos, k=%d, w=0.5)\n\n", streetName, len(rs), *photosK)
+
+	fmt.Printf("%8s %12s %12s   %s\n", "lambda", "relevance", "diversity", "(bar: diversity gained)")
+	for _, lambda := range []float64{0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1} {
+		res, err := ctx.STRelDiv(diversify.Params{K: *photosK, Lambda: lambda, W: 0.5, Rho: 0.0001})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel := ctx.RelScore(res.Selected, 0.5)
+		div := ctx.DivScore(res.Selected, 0.5)
+		bar := ""
+		for i := 0; i < int(div*40); i++ {
+			bar += "#"
+		}
+		fmt.Printf("%8.3f %12.4f %12.4f   %s\n", lambda, rel, div, bar)
+	}
+	fmt.Println("\nAs in the paper, diversity rises quickly at small λ while relevance")
+	fmt.Println("is still high; past the λ≈0.5 knee each extra unit of diversity costs")
+	fmt.Println("progressively more relevance, motivating the default λ = 0.5.")
+}

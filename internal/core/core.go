@@ -1,0 +1,98 @@
+// Package core implements the paper's first contribution: the k-SOI query
+// (Problem 1) and the SOI top-k algorithm (Algorithm 1) that evaluates it,
+// together with the exact baseline BL used in the paper's performance
+// study (Section 5.2.1).
+//
+// Given a road network, a POI corpus and a query q = ⟨Ψ, k, ε⟩, the k-SOI
+// query returns the k streets with the highest interest, where a segment's
+// interest is its relevant-POI mass density over the ε-neighborhood area
+// 2ε·len(ℓ) + πε² (Definitions 1–2) and a street's interest is the maximum
+// interest among its segments (Definition 3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/vocab"
+)
+
+// Query is a k-SOI query q = ⟨Ψ, k, ε⟩.
+type Query struct {
+	// Keywords is the query keyword set Ψ.
+	Keywords []string
+	// K is the number of streets to return.
+	K int
+	// Epsilon is the distance threshold ε in coordinate units.
+	Epsilon float64
+}
+
+// Validate reports whether the query is well formed.
+func (q Query) Validate() error {
+	if len(q.Keywords) == 0 {
+		return errors.New("core: query needs at least one keyword")
+	}
+	if q.K <= 0 {
+		return fmt.Errorf("core: non-positive k %d", q.K)
+	}
+	if q.Epsilon <= 0 {
+		return fmt.Errorf("core: non-positive epsilon %v", q.Epsilon)
+	}
+	return nil
+}
+
+// StreetResult is one entry of a k-SOI answer.
+type StreetResult struct {
+	Street      network.StreetID
+	Name        string
+	Interest    float64
+	BestSegment network.SegmentID
+	// Mass is the relevant-POI mass of the best segment.
+	Mass float64
+}
+
+// Stats records the work performed by a query evaluation, including the
+// per-phase timing breakdown reported in the paper's Figure 4.
+type Stats struct {
+	BuildListsTime time.Duration
+	FilterTime     time.Duration
+	RefineTime     time.Duration
+
+	// CellAccesses counts pops from source list SL1.
+	CellAccesses int
+	// SegmentAccesses counts pops from source lists SL2 and SL3.
+	SegmentAccesses int
+	// CellVisits counts UpdateInterest invocations that did work.
+	CellVisits int
+	// SegmentsSeen counts segments that left the unseen state.
+	SegmentsSeen int
+	// SegmentsFinal counts segments whose exact interest was computed.
+	SegmentsFinal int
+	// TotalSegments and TotalCells size the search space.
+	TotalSegments int
+	TotalCells    int
+}
+
+// Total returns the end-to-end evaluation time.
+func (s Stats) Total() time.Duration {
+	return s.BuildListsTime + s.FilterTime + s.RefineTime
+}
+
+// Interest computes the mass-density interest of Definition 2:
+// mass / (2ε·len + πε²).
+func Interest(mass, length, eps float64) float64 {
+	return mass / (2*eps*length + math.Pi*eps*eps)
+}
+
+// resolveQuery interns the query keywords against the corpus dictionary.
+// Unknown keywords contribute no POIs and are dropped.
+func (ix *Index) resolveQuery(q Query) (vocab.Set, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	set, _ := ix.pois.Dict().LookupAll(q.Keywords)
+	return set, nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/network"
+	"repro/internal/poi"
+	"repro/internal/vocab"
+)
+
+// This file adds dynamic POI maintenance to the index. The paper's
+// motivation is that "the amount of crowdsourced geospatial content on
+// the Web is constantly increasing"; the offline structures of Section
+// 3.2.1 extend to appends without a rebuild: the new POI lands in its
+// grid cell, the affected keywords of the global inverted index are
+// re-sorted lazily, and the ε-augmented cell↔segment maps are
+// invalidated only when a previously empty cell becomes populated.
+
+// AddPOI appends a POI to the indexed corpus and updates every index
+// structure. The keyword strings are interned into the corpus dictionary.
+// AddPOI is not safe for concurrent use with queries; batch insertions
+// and re-Warm afterwards for best performance.
+func (ix *Index) AddPOI(loc geo.Point, keywords []string, weight float64) (poi.ID, error) {
+	set := ix.pois.Dict().InternAll(keywords)
+	return ix.addPOISet(loc, set, weight)
+}
+
+func (ix *Index) addPOISet(loc geo.Point, set vocab.Set, weight float64) (poi.ID, error) {
+	if !ix.grid.Bounds().Contains(loc) {
+		// The grid clamps out-of-bounds objects into border cells, which
+		// would silently misplace the POI relative to ε-distance queries.
+		return 0, fmt.Errorf("core: POI at %v outside the indexed bounds %v", loc, ix.grid.Bounds())
+	}
+	id := ix.pois.Append(loc, set, weight)
+	p := ix.pois.Get(id)
+
+	cid := ix.grid.CellIndex(loc)
+	wasEmpty := ix.grid.CellAt(cid) == nil
+	if err := ix.grid.Insert(uint32(id), loc, set); err != nil {
+		return 0, err
+	}
+	ix.cellWeight[cid] += p.Weight
+	for _, kw := range set {
+		kp := ix.inv[kw]
+		if kp == nil {
+			kp = &kwPostings{weights: make(map[grid.CellID]float64)}
+			ix.inv[kw] = kp
+		}
+		kp.weights[cid] += p.Weight
+		kp.dirty = true
+	}
+	if wasEmpty {
+		// A newly populated cell may now be within ε of segments whose
+		// memoized Cε(ℓ) lists were computed without it; drop every
+		// ε-dependent memo so the next query rebuilds them.
+		ix.mu.Lock()
+		ix.segCells = make(map[float64][][]grid.CellID)
+		ix.cellSegs = make(map[float64]map[grid.CellID][]network.SegmentID)
+		ix.sl2 = make(map[float64][]network.SegmentID)
+		ix.mu.Unlock()
+	}
+	return id, nil
+}

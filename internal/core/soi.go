@@ -1,0 +1,496 @@
+package core
+
+import (
+	"repro/internal/geo"
+	"sort"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/network"
+	"repro/internal/vocab"
+)
+
+// segState tracks the per-segment state of Algorithm 1. A segment is
+// unseen until its first UpdateInterest, partial while cells remain in
+// toVisit, and final once every ε-near cell has been visited. toVisit is
+// a small slice with swap-delete semantics: Cε(ℓ) lists hold a few dozen
+// cells at most, so a linear scan beats a map.
+type segState struct {
+	seen    bool
+	final   bool
+	mass    float64       // mass−(ℓ): relevant weight accounted so far
+	toVisit []grid.CellID // cells not yet visited for this segment
+}
+
+// visit removes cid from toVisit, reporting whether it was present.
+func (st *segState) visit(cid grid.CellID) bool {
+	for i, c := range st.toVisit {
+		if c == cid {
+			last := len(st.toVisit) - 1
+			st.toVisit[i] = st.toVisit[last]
+			st.toVisit = st.toVisit[:last]
+			return true
+		}
+	}
+	return false
+}
+
+// relPOI caches the location and weight of one query-relevant POI.
+type relPOI struct {
+	loc geo.Point
+	w   float64
+}
+
+// soiRun carries the mutable state of one SOI evaluation.
+type soiRun struct {
+	ix    *Index
+	query vocab.Set
+	k     int
+	eps   float64
+	strat Strategy
+
+	segCells [][]grid.CellID
+	cellSegs map[grid.CellID][]network.SegmentID
+
+	sl1    []weightedEntry     // cells desc by relevant weight
+	sl2    []network.SegmentID // segments desc by |Cε(ℓ)|
+	sl3    []network.SegmentID // segments asc by length
+	p1, p2 int                 // pointers into SL1, SL2
+	p3     int                 // pointer into SL3
+
+	states []segState
+	seen   []network.SegmentID // ids of seen segments (Lseen membership)
+	topk   *streetTopK
+
+	// relCache memoizes the query-relevant POIs of each visited cell: a
+	// cell is visited once per ε-near segment, so resolving its postings
+	// lists once and replaying locations pays off quickly.
+	relCache map[grid.CellID][]relPOI
+
+	stats Stats
+}
+
+// Strategy selects the source-list access schedule of the filtering
+// phase. The paper states that "the correctness of our method is not
+// affected by the access strategy" and describes alternating between SL1
+// and SL3 with occasional SL2 accesses; both schedules below terminate
+// with the same result set.
+type Strategy int
+
+const (
+	// CostAware is the default: SL1 drives the search, SL3 is consumed
+	// while its head is cheap to finalize, SL2 only while its head is an
+	// outlier in neighboring-cell count.
+	CostAware Strategy = iota
+	// RoundRobin is the literal Algorithm 1 schedule: one access from
+	// SL1, then SL2, then SL3, cyclically.
+	RoundRobin
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case CostAware:
+		return "cost-aware"
+	case RoundRobin:
+		return "round-robin"
+	default:
+		return "strategy(?)"
+	}
+}
+
+// SOI evaluates a k-SOI query with Algorithm 1: it pops cells and
+// segments from the three ranked source lists, maintaining the seen
+// lower bound LBk and the unseen upper bound UB, stops when LBk ≥ UB,
+// and refines the seen segments to extract the k most interesting
+// streets. The default cost-aware access strategy is used; see
+// SOIWithStrategy for the ablation.
+func (ix *Index) SOI(q Query) ([]StreetResult, Stats, error) {
+	return ix.SOIWithStrategy(q, CostAware)
+}
+
+// SOIWithStrategy is SOI with an explicit source-list access strategy.
+func (ix *Index) SOIWithStrategy(q Query, strat Strategy) ([]StreetResult, Stats, error) {
+	query, err := ix.resolveQuery(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	r := &soiRun{ix: ix, query: query, k: q.K, eps: q.Epsilon, strat: strat}
+	r.stats.TotalSegments = ix.net.NumSegments()
+	r.stats.TotalCells = ix.grid.NumCells()
+
+	start := time.Now()
+	r.buildLists()
+	r.stats.BuildListsTime = time.Since(start)
+
+	start = time.Now()
+	r.filter()
+	r.stats.FilterTime = time.Since(start)
+
+	start = time.Now()
+	res := r.refine()
+	r.stats.RefineTime = time.Since(start)
+	return res, r.stats, nil
+}
+
+// buildLists constructs the three source lists (Algorithm 1 lines 1–7).
+// SL3 is query-independent and precomputed by the index; SL1 depends on
+// the query keywords and SL2 on ε.
+func (r *soiRun) buildLists() {
+	ix := r.ix
+	r.segCells = ix.SegmentCells(r.eps)
+	r.cellSegs = ix.CellSegments(r.eps)
+	r.sl1 = ix.buildSL1(r.query)
+	r.sl2 = ix.SegmentsByCellCount(r.eps)
+	r.sl3 = ix.segsByLen
+	r.states = make([]segState, ix.net.NumSegments())
+	r.topk = newStreetTopK(r.k)
+	r.relCache = make(map[grid.CellID][]relPOI)
+}
+
+// relevantInCell returns the query-relevant POIs of the cell, resolved
+// from its postings lists once and cached for the rest of the run.
+func (r *soiRun) relevantInCell(cid grid.CellID) []relPOI {
+	if rel, ok := r.relCache[cid]; ok {
+		return rel
+	}
+	cell := r.ix.grid.CellAt(cid)
+	var rel []relPOI
+	collect := func(id uint32) {
+		p := r.ix.pois.Get(id)
+		rel = append(rel, relPOI{loc: p.Loc, w: p.Weight})
+	}
+	if len(r.query) == 1 {
+		for _, id := range cell.Inv[r.query[0]] {
+			collect(id)
+		}
+	} else {
+		// Synchronous merge of the sorted postings lists, deduplicating
+		// POIs that match several query keywords.
+		lists := make([][]uint32, 0, len(r.query))
+		for _, kw := range r.query {
+			if ps := cell.Inv[kw]; len(ps) > 0 {
+				lists = append(lists, ps)
+			}
+		}
+		const sentinel = ^uint32(0)
+		for {
+			minID := sentinel
+			for _, l := range lists {
+				if len(l) > 0 && l[0] < minID {
+					minID = l[0]
+				}
+			}
+			if minID == sentinel {
+				break
+			}
+			for i := range lists {
+				if len(lists[i]) > 0 && lists[i][0] == minID {
+					lists[i] = lists[i][1:]
+				}
+			}
+			collect(minID)
+		}
+	}
+	r.relCache[cid] = rel
+	return rel
+}
+
+// state returns the segment state, initializing toVisit from Cε(ℓ) on
+// first touch.
+func (r *soiRun) state(sid network.SegmentID) *segState {
+	st := &r.states[sid]
+	if !st.seen {
+		st.seen = true
+		cells := r.segCells[sid]
+		st.toVisit = append(make([]grid.CellID, 0, len(cells)), cells...)
+		if len(st.toVisit) == 0 {
+			st.final = true
+			r.stats.SegmentsFinal++
+		}
+		r.seen = append(r.seen, sid)
+		r.stats.SegmentsSeen++
+	}
+	return st
+}
+
+// updateInterest visits cell c for segment sid (procedure UpdateInterest):
+// it counts the query-relevant POIs of c within ε of the segment, raises
+// mass−(ℓ), and propagates the improved interest lower bound to LBk.
+func (r *soiRun) updateInterest(sid network.SegmentID, cid grid.CellID) {
+	st := r.state(sid)
+	if !st.visit(cid) {
+		return // already visited for this segment
+	}
+	r.stats.CellVisits++
+	seg := r.ix.net.Segment(sid).Geom
+	epsSq := r.eps * r.eps
+	for _, p := range r.relevantInCell(cid) {
+		if seg.DistToPointSq(p.loc) <= epsSq {
+			st.mass += p.w
+		}
+	}
+	if len(st.toVisit) == 0 && !st.final {
+		st.final = true
+		r.stats.SegmentsFinal++
+	}
+	if st.mass > 0 {
+		lb := Interest(st.mass, r.ix.net.Segment(sid).Length(), r.eps)
+		r.topk.Update(r.ix.net.Segment(sid).Street, lb)
+	}
+}
+
+// skipFinal advances a segment-list pointer past segments that are
+// already final; accessing them again cannot change any bound.
+func (r *soiRun) skipFinal(list []network.SegmentID, p int) int {
+	for p < len(list) && r.states[list[p]].final {
+		p++
+	}
+	return p
+}
+
+// unseenUpperBound computes UB = top(SL1)·top(SL2) / (2ε·top(SL3) + πε²),
+// the largest possible interest of any segment not yet encountered
+// (Algorithm 1 line 22). An exhausted list makes the bound zero: no
+// unseen segment can carry mass (SL1 empty) or exist at all (SL2/SL3
+// empty).
+func (r *soiRun) unseenUpperBound() float64 {
+	r.p2 = r.skipFinal(r.sl2, r.p2)
+	r.p3 = r.skipFinal(r.sl3, r.p3)
+	if r.p1 >= len(r.sl1) || r.p2 >= len(r.sl2) || r.p3 >= len(r.sl3) {
+		return 0
+	}
+	top1 := r.sl1[r.p1].Weight
+	top2 := float64(len(r.segCells[r.sl2[r.p2]]))
+	top3 := r.ix.net.Segment(r.sl3[r.p3]).Length()
+	return Interest(top1*top2, top3, r.eps)
+}
+
+// filter is the main loop of Algorithm 1 (lines 8–24). The paper leaves
+// the source access strategy free ("the correctness of our method is not
+// affected by the access strategy") and notes that, in practice, it
+// alternates between SL1 and SL3 and dips into SL2 only when a few
+// segments with a large number of neighboring cells exist. We implement
+// that strategy cost-aware: SL1 drives the search; SL3 is consumed while
+// its next segment is cheap to finalize (few ε-near cells); SL2 is
+// consumed only while its next segment has an outlier cell count.
+func (r *soiRun) filter() {
+	if r.strat == RoundRobin {
+		r.filterRoundRobin()
+		return
+	}
+	// avgCells calibrates the SL2 outlier threshold.
+	var totalPairs int
+	for _, cs := range r.segCells {
+		totalPairs += len(cs)
+	}
+	avgCells := 1.0
+	if len(r.segCells) > 0 {
+		avgCells = float64(totalPairs) / float64(len(r.segCells))
+	}
+	monsterCells := int(4 * avgCells)
+	cheapCells := int(avgCells / 2)
+	if cheapCells < 4 {
+		cheapCells = 4
+	}
+	for {
+		if r.unseenUpperBound() <= r.topk.Bound() {
+			return
+		}
+		if r.p1 >= len(r.sl1) {
+			// SL1 exhausted: no unseen segment can have positive mass, so
+			// the unseen upper bound is zero and the loop above returns on
+			// the next check once the segment lists are advanced.
+			return
+		}
+		// SL1 access: pop the cell with the largest relevant weight and
+		// update every segment within ε of it.
+		cid := r.sl1[r.p1].Cell
+		r.p1++
+		r.stats.CellAccesses++
+		for _, sid := range r.cellSegs[cid] {
+			r.updateInterest(sid, cid)
+		}
+		// SL3 accesses: finalize short segments while cheap; each pop
+		// raises top(SL3) and with it the unseen bound's denominator.
+		r.p3 = r.skipFinal(r.sl3, r.p3)
+		for burst := 0; burst < 4 && r.p3 < len(r.sl3); burst++ {
+			sid := r.sl3[r.p3]
+			if r.remainingCells(sid) > cheapCells {
+				break
+			}
+			r.finalizeSegment(sid)
+			r.p3++
+			r.p3 = r.skipFinal(r.sl3, r.p3)
+		}
+		// SL2 access: finalize a segment only while the head of SL2 is an
+		// outlier in neighboring-cell count, shrinking top(SL2).
+		r.p2 = r.skipFinal(r.sl2, r.p2)
+		if r.p2 < len(r.sl2) && len(r.segCells[r.sl2[r.p2]]) >= monsterCells {
+			r.finalizeSegment(r.sl2[r.p2])
+			r.p2++
+		}
+	}
+}
+
+// filterRoundRobin is the literal Algorithm 1 schedule: SL1 → SL2 → SL3,
+// one access each, cyclically, until LBk ≥ UB. Kept as an ablation of the
+// access strategy; it yields the same result set but typically finalizes
+// far more segments than the cost-aware schedule.
+func (r *soiRun) filterRoundRobin() {
+	src := 0
+	for {
+		if r.unseenUpperBound() <= r.topk.Bound() {
+			return
+		}
+		switch src {
+		case 0:
+			if r.p1 < len(r.sl1) {
+				cid := r.sl1[r.p1].Cell
+				r.p1++
+				r.stats.CellAccesses++
+				for _, sid := range r.cellSegs[cid] {
+					r.updateInterest(sid, cid)
+				}
+			} else if r.p2 >= len(r.sl2) && r.p3 >= len(r.sl3) {
+				return // every list exhausted; UB is zero
+			}
+		case 1:
+			r.p2 = r.skipFinal(r.sl2, r.p2)
+			if r.p2 < len(r.sl2) {
+				r.finalizeSegment(r.sl2[r.p2])
+				r.p2++
+			}
+		default:
+			r.p3 = r.skipFinal(r.sl3, r.p3)
+			if r.p3 < len(r.sl3) {
+				r.finalizeSegment(r.sl3[r.p3])
+				r.p3++
+			}
+		}
+		src = (src + 1) % 3
+	}
+}
+
+// remainingCells returns how many cells a segment still needs to visit to
+// become final (all of Cε(ℓ) when unseen).
+func (r *soiRun) remainingCells(sid network.SegmentID) int {
+	if st := &r.states[sid]; st.seen {
+		return len(st.toVisit)
+	}
+	return len(r.segCells[sid])
+}
+
+// finalizeSegment visits every remaining ε-near cell of the segment,
+// bringing it to the final state with exact interest.
+func (r *soiRun) finalizeSegment(sid network.SegmentID) {
+	r.stats.SegmentAccesses++
+	r.state(sid)
+	r.drainSegment(sid)
+}
+
+// drainSegment visits every remaining cell of a seen segment.
+func (r *soiRun) drainSegment(sid network.SegmentID) {
+	st := &r.states[sid]
+	for len(st.toVisit) > 0 {
+		r.updateInterest(sid, st.toVisit[len(st.toVisit)-1])
+	}
+	if !st.final {
+		st.final = true
+		r.stats.SegmentsFinal++
+	}
+}
+
+// refine extracts the k most interesting streets from the seen segments
+// (Algorithm 1 lines 25–28), finalizing segments only "as necessary":
+// candidates are processed in decreasing order of an interest upper bound
+// (accounted mass plus the full relevant weight of every unvisited cell),
+// and processing stops once the next candidate's upper bound cannot beat
+// the k-th best exact street interest. Streets with zero interest are not
+// reported; ties are broken by street id for determinism.
+func (r *soiRun) refine() []StreetResult {
+	// Relevant weight per cell, for the per-segment upper bounds. SL1
+	// entries carry exactly min(|Pc|, Σψ I[ψ][c]).
+	cellW := make(map[grid.CellID]float64, len(r.sl1))
+	for _, e := range r.sl1 {
+		cellW[e.Cell] = e.Weight
+	}
+	type candidate struct {
+		sid network.SegmentID
+		ub  float64
+	}
+	cands := make([]candidate, 0, len(r.seen))
+	for _, sid := range r.seen {
+		st := &r.states[sid]
+		pot := st.mass
+		for _, c := range st.toVisit {
+			pot += cellW[c]
+		}
+		if pot <= 0 {
+			continue
+		}
+		cands = append(cands, candidate{
+			sid: sid,
+			ub:  Interest(pot, r.ix.net.Segment(sid).Length(), r.eps),
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].ub != cands[j].ub {
+			return cands[i].ub > cands[j].ub
+		}
+		return cands[i].sid < cands[j].sid
+	})
+
+	type best struct {
+		interest float64
+		seg      network.SegmentID
+		mass     float64
+	}
+	streetBest := make(map[network.StreetID]best)
+	exactTopK := newStreetTopK(r.k)
+	for _, c := range cands {
+		if bound := exactTopK.Bound(); bound > 0 && c.ub <= bound {
+			break // no remaining candidate can enter or reorder the top-k
+		}
+		st := &r.states[c.sid]
+		if !st.final {
+			r.drainSegment(c.sid)
+		}
+		if st.mass <= 0 {
+			continue
+		}
+		in := Interest(st.mass, r.ix.net.Segment(c.sid).Length(), r.eps)
+		street := r.ix.net.Segment(c.sid).Street
+		exactTopK.Update(uint32(street), in)
+		cur, ok := streetBest[street]
+		if !ok || in > cur.interest || (in == cur.interest && c.sid < cur.seg) {
+			streetBest[street] = best{interest: in, seg: c.sid, mass: st.mass}
+		}
+	}
+	out := make([]StreetResult, 0, len(streetBest))
+	for street, b := range streetBest {
+		out = append(out, StreetResult{
+			Street:      street,
+			Name:        r.ix.net.Street(street).Name,
+			Interest:    b.interest,
+			BestSegment: b.seg,
+			Mass:        b.mass,
+		})
+	}
+	sortResults(out)
+	if len(out) > r.k {
+		out = out[:r.k]
+	}
+	return out
+}
+
+// sortResults orders street results by decreasing interest, breaking ties
+// by street id.
+func sortResults(rs []StreetResult) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Interest != rs[j].Interest {
+			return rs[i].Interest > rs[j].Interest
+		}
+		return rs[i].Street < rs[j].Street
+	})
+}

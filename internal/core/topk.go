@@ -1,0 +1,100 @@
+package core
+
+import "container/heap"
+
+// streetTopK maintains the k-th largest per-street best segment interest
+// lower bound under increase-only updates. This realizes Algorithm 1's
+// LBk = int−(ℓµ), using the observation that the µ-th segment of the
+// ranked seen list (the first segment of the k-th distinct street) carries
+// exactly the k-th largest per-street maximum.
+//
+// Implementation: a map from street to its current best value, plus a
+// lazy-deletion min-heap over the current top-k streets.
+type streetTopK struct {
+	k     int
+	best  map[uint32]float64 // street → best value seen
+	inTop map[uint32]bool    // street currently counted in the top-k
+	h     entryHeap          // min-heap over (street, value); may hold stale entries
+	nTop  int                // number of streets currently in the top-k
+}
+
+type heapEntry struct {
+	street uint32
+	value  float64
+}
+
+type entryHeap []heapEntry
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(i, j int) bool  { return h[i].value < h[j].value }
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func newStreetTopK(k int) *streetTopK {
+	return &streetTopK{
+		k:     k,
+		best:  make(map[uint32]float64),
+		inTop: make(map[uint32]bool),
+	}
+}
+
+// popStale removes heap entries that no longer reflect the current state:
+// entries for streets out of the top set or with outdated values.
+func (t *streetTopK) popStale() {
+	for len(t.h) > 0 {
+		top := t.h[0]
+		if t.inTop[top.street] && t.best[top.street] == top.value {
+			return
+		}
+		heap.Pop(&t.h)
+	}
+}
+
+// Update raises the best value of street to v when it improves, and
+// rebalances the top-k set.
+func (t *streetTopK) Update(street uint32, v float64) {
+	if cur, ok := t.best[street]; ok && v <= cur {
+		return
+	}
+	t.best[street] = v
+	if t.inTop[street] {
+		// Value changed; the old heap entry is now stale. Push the fresh one.
+		heap.Push(&t.h, heapEntry{street, v})
+		return
+	}
+	if t.nTop < t.k {
+		t.inTop[street] = true
+		t.nTop++
+		heap.Push(&t.h, heapEntry{street, v})
+		return
+	}
+	t.popStale()
+	if len(t.h) == 0 || v <= t.h[0].value {
+		return
+	}
+	// Evict the current minimum and admit street.
+	evicted := heap.Pop(&t.h).(heapEntry)
+	delete(t.inTop, evicted.street)
+	t.inTop[street] = true
+	heap.Push(&t.h, heapEntry{street, v})
+}
+
+// Bound returns the current LBk: the k-th largest per-street best value,
+// or 0 while fewer than k streets have been seen.
+func (t *streetTopK) Bound() float64 {
+	if t.nTop < t.k {
+		return 0
+	}
+	t.popStale()
+	if len(t.h) == 0 {
+		return 0
+	}
+	return t.h[0].value
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteKth computes the k-th largest value of a map, or 0 when fewer than
+// k entries exist.
+func bruteKth(m map[uint32]float64, k int) float64 {
+	if len(m) < k {
+		return 0
+	}
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	return vals[k-1]
+}
+
+func TestStreetTopKBasic(t *testing.T) {
+	tk := newStreetTopK(2)
+	if got := tk.Bound(); got != 0 {
+		t.Fatalf("empty Bound = %v", got)
+	}
+	tk.Update(1, 5)
+	if got := tk.Bound(); got != 0 {
+		t.Fatalf("one-street Bound = %v", got)
+	}
+	tk.Update(2, 3)
+	if got := tk.Bound(); got != 3 {
+		t.Fatalf("Bound = %v, want 3", got)
+	}
+	tk.Update(3, 4) // evicts street 2
+	if got := tk.Bound(); got != 4 {
+		t.Fatalf("Bound = %v, want 4", got)
+	}
+	tk.Update(2, 10) // street 2 re-enters, evicting street 3
+	if got := tk.Bound(); got != 5 {
+		t.Fatalf("Bound = %v, want 5", got)
+	}
+	// Same-street improvement.
+	tk.Update(1, 20)
+	if got := tk.Bound(); got != 10 {
+		t.Fatalf("Bound = %v, want 10", got)
+	}
+	// Non-improving update is ignored.
+	tk.Update(1, 1)
+	if got := tk.Bound(); got != 10 {
+		t.Fatalf("Bound after no-op update = %v, want 10", got)
+	}
+}
+
+func TestStreetTopKK1(t *testing.T) {
+	tk := newStreetTopK(1)
+	tk.Update(7, 2)
+	if got := tk.Bound(); got != 2 {
+		t.Fatalf("Bound = %v", got)
+	}
+	tk.Update(8, 1)
+	if got := tk.Bound(); got != 2 {
+		t.Fatalf("Bound = %v", got)
+	}
+	tk.Update(8, 9)
+	if got := tk.Bound(); got != 9 {
+		t.Fatalf("Bound = %v", got)
+	}
+}
+
+// Property: against a brute-force oracle over random increase-only
+// updates, the lazy structure always reports the exact k-th largest
+// per-street best value.
+func TestStreetTopKAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		k := rng.Intn(5) + 1
+		tk := newStreetTopK(k)
+		oracle := make(map[uint32]float64)
+		for step := 0; step < 300; step++ {
+			street := uint32(rng.Intn(20))
+			v := rng.Float64() * 100
+			tk.Update(street, v)
+			if v > oracle[street] {
+				oracle[street] = v
+			}
+			want := bruteKth(oracle, k)
+			if got := tk.Bound(); got != want {
+				t.Fatalf("trial %d step %d: Bound = %v, want %v (k=%d)", trial, step, got, want, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package diversify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/network"
+	"repro/internal/photo"
+)
+
+// TestPhotoIndexMatchesScan: the grid-backed extraction must return
+// exactly the same Rs and maxD as the full corpus scan, on random
+// networks and corpora.
+func TestPhotoIndexMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 30; trial++ {
+		nb := network.NewBuilder()
+		nStreets := rng.Intn(8) + 2
+		for s := 0; s < nStreets; s++ {
+			n := rng.Intn(4) + 2
+			pts := make([]geo.Point, n)
+			x, y := rng.Float64(), rng.Float64()
+			pts[0] = geo.Pt(x, y)
+			for i := 1; i < n; i++ {
+				x += rng.NormFloat64() * 0.1
+				y += rng.NormFloat64() * 0.1
+				pts[i] = geo.Pt(x, y)
+			}
+			nb.AddStreet("s", pts)
+		}
+		net, err := nb.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb := photo.NewBuilder(nil)
+		nPhotos := rng.Intn(300) + 10
+		for i := 0; i < nPhotos; i++ {
+			pb.Add(geo.Pt(rng.Float64()*1.4-0.2, rng.Float64()*1.4-0.2), []string{"t"})
+		}
+		corpus := pb.Build()
+		pi, err := NewPhotoIndex(corpus, 0.02+rng.Float64()*0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := 0.01 + rng.Float64()*0.1
+		for s := 0; s < net.NumStreets(); s++ {
+			sid := network.StreetID(s)
+			want, wantD := ExtractStreetPhotos(net, sid, corpus, eps)
+			got, gotD := pi.StreetPhotos(net, sid, eps)
+			if gotD != wantD {
+				t.Fatalf("maxD %v != %v", gotD, wantD)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d street %d: %d photos, want %d", trial, s, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID {
+					t.Fatalf("trial %d street %d: photo %d is %d, want %d",
+						trial, s, i, got[i].ID, want[i].ID)
+				}
+			}
+		}
+	}
+}
+
+func TestPhotoIndexEmptyCorpus(t *testing.T) {
+	nb := network.NewBuilder()
+	nb.AddStreet("s", []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)})
+	net, _ := nb.Build()
+	pi, err := NewPhotoIndex(photo.NewBuilder(nil).Build(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := pi.StreetPhotos(net, 0, 0.1)
+	if len(rs) != 0 {
+		t.Fatalf("Rs = %d", len(rs))
+	}
+}
+
+func TestPhotoIndexBadCellSize(t *testing.T) {
+	if _, err := NewPhotoIndex(photo.NewBuilder(nil).Build(), 0); err == nil {
+		t.Fatal("expected error")
+	}
+}

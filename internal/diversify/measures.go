@@ -1,0 +1,343 @@
+// Package diversify implements the paper's second contribution: the SOI
+// diversification problem (Problem 2) and the ST_Rel+Div algorithm
+// (Algorithm 2) that selects a small, spatio-textually relevant and
+// diverse photo summary for a street, together with the exact greedy
+// baseline BL and the eight single-criterion variants of Table 3
+// (S/T/ST × Rel/Div/Rel+Div).
+package diversify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/network"
+	"repro/internal/photo"
+	"repro/internal/poi"
+	"repro/internal/vocab"
+)
+
+// Params configures a diversification query.
+type Params struct {
+	// K is the number of photos to select.
+	K int
+	// Lambda trades relevance (0) against diversity (1) in Eq. 2/10.
+	Lambda float64
+	// W trades the textual (0) against the spatial (1) aspect in Eq. 4–5.
+	W float64
+	// Rho is the neighborhood radius of the spatial relevance measure
+	// (Def. 4); the index grid uses cells of side Rho/2.
+	Rho float64
+}
+
+// Validate reports whether the parameters are well formed.
+func (p Params) Validate() error {
+	if p.K <= 0 {
+		return fmt.Errorf("diversify: non-positive k %d", p.K)
+	}
+	if p.Lambda < 0 || p.Lambda > 1 {
+		return fmt.Errorf("diversify: lambda %v outside [0,1]", p.Lambda)
+	}
+	if p.W < 0 || p.W > 1 {
+		return fmt.Errorf("diversify: w %v outside [0,1]", p.W)
+	}
+	if p.Rho <= 0 {
+		return fmt.Errorf("diversify: non-positive rho %v", p.Rho)
+	}
+	return nil
+}
+
+// Context is the per-street evaluation context: the street's associated
+// photos Rs, its keyword frequency vector Φs, the normalizer maxD(s), and
+// the ρ/2 grid with per-cell inverted indexes of Section 4.2.1.
+type Context struct {
+	photos []photo.Photo // Rs; local indices 0..n-1
+	freq   vocab.Freq    // Φs
+	freqL1 float64       // ‖Φs‖₁
+	maxD   float64       // maxD(s)
+	rho    float64
+	grid   *grid.Grid
+
+	// spatialRel caches Def. 4 for every photo.
+	spatialRel []float64
+	// cellSpatialLo/Hi cache Eq. 11–12 per cell (R-independent).
+	cellSpatialLo map[grid.CellID]float64
+	cellSpatialHi map[grid.CellID]float64
+	// cellTextualLo/Hi cache Eq. 13–14 per cell (R-independent).
+	cellTextualLo map[grid.CellID]float64
+	cellTextualHi map[grid.CellID]float64
+
+	// features holds optional per-photo visual feature vectors (the
+	// future-work extension); nil unless SetFeatures was called.
+	features [][]float64
+}
+
+// ErrNoPhotos is returned when a street has no associated photos.
+var ErrNoPhotos = errors.New("diversify: street has no associated photos")
+
+// ExtractStreetPhotos returns the photos within eps of the street (the
+// paper's Rs) and the normalizer maxD(s): the diagonal of the street MBR
+// extended by an eps buffer.
+func ExtractStreetPhotos(net *network.Network, street network.StreetID, corpus *photo.Corpus, eps float64) ([]photo.Photo, float64) {
+	var rs []photo.Photo
+	for _, p := range corpus.All() {
+		if net.DistToStreet(p.Loc, street) <= eps {
+			rs = append(rs, p)
+		}
+	}
+	maxD := net.StreetBounds(street).Expand(eps).Diagonal()
+	return rs, maxD
+}
+
+// FreqFromPhotos derives the street keyword frequency vector Φs from the
+// tags of its associated photos (the default derivation; the paper notes
+// Φs can come from any description of the street).
+func FreqFromPhotos(dict *vocab.Dictionary, rs []photo.Photo) vocab.Freq {
+	f := vocab.NewFreq(dict)
+	for i := range rs {
+		f.AddSet(rs[i].Tags, 1)
+	}
+	return f
+}
+
+// FreqFromPOIs derives Φs from the keywords of the street's ε-near POIs,
+// weighted by POI importance — the paper's alternative derivation ("from
+// the keywords of its neighboring POIs and/or photos").
+func FreqFromPOIs(dict *vocab.Dictionary, net *network.Network, street network.StreetID, corpus *poi.Corpus, eps float64) vocab.Freq {
+	f := vocab.NewFreq(dict)
+	for _, p := range corpus.All() {
+		if net.DistToStreet(p.Loc, street) <= eps {
+			f.AddSet(p.Keywords, p.Weight)
+		}
+	}
+	return f
+}
+
+// BlendFreq combines two frequency vectors with weight alpha on a:
+// alpha·â + (1−alpha)·b̂, each normalized to unit L1 mass first so the
+// blend weight is meaningful regardless of corpus sizes. Zero-mass inputs
+// contribute nothing.
+func BlendFreq(a, b vocab.Freq, alpha float64) vocab.Freq {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(vocab.Freq, n)
+	la, lb := a.L1(), b.L1()
+	for i := range a {
+		if la > 0 {
+			out[i] += alpha * a[i] / la
+		}
+	}
+	for i := range b {
+		if lb > 0 {
+			out[i] += (1 - alpha) * b[i] / lb
+		}
+	}
+	return out
+}
+
+// NewContext builds the evaluation context for one street. The photos
+// slice is Rs; freq is Φs; maxD is the diversity normalizer. The grid uses
+// cells of side rho/2 as Section 4.2.1 prescribes.
+func NewContext(rs []photo.Photo, freq vocab.Freq, maxD, rho float64) (*Context, error) {
+	if len(rs) == 0 {
+		return nil, ErrNoPhotos
+	}
+	if rho <= 0 {
+		return nil, fmt.Errorf("diversify: non-positive rho %v", rho)
+	}
+	if maxD <= 0 {
+		return nil, fmt.Errorf("diversify: non-positive maxD %v", maxD)
+	}
+	locs := make([]geo.Point, len(rs))
+	keys := make([]vocab.Set, len(rs))
+	for i := range rs {
+		locs[i] = rs[i].Loc
+		keys[i] = rs[i].Tags
+	}
+	g, err := grid.Build(grid.Config{CellSize: rho / 2}, locs, keys)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &Context{
+		photos: rs,
+		freq:   freq,
+		freqL1: freq.L1(),
+		maxD:   maxD,
+		rho:    rho,
+		grid:   g,
+	}
+	ctx.precompute()
+	return ctx, nil
+}
+
+// Photos returns Rs; callers must not modify it.
+func (c *Context) Photos() []photo.Photo { return c.photos }
+
+// Len returns |Rs|.
+func (c *Context) Len() int { return len(c.photos) }
+
+// MaxD returns the spatial diversity normalizer maxD(s).
+func (c *Context) MaxD() float64 { return c.maxD }
+
+// precompute fills the R-independent caches: per-photo spatial relevance
+// and the per-cell relevance bounds.
+func (c *Context) precompute() {
+	n := len(c.photos)
+	c.spatialRel = make([]float64, n)
+	for i := range c.photos {
+		cnt := 0
+		cid := c.grid.CellIndex(c.photos[i].Loc)
+		for _, nid := range c.grid.Neighborhood(cid, 2) {
+			cell := c.grid.CellAt(nid)
+			for _, m := range cell.Members {
+				if c.photos[i].Loc.Dist(c.photos[m].Loc) <= c.rho {
+					cnt++
+				}
+			}
+		}
+		c.spatialRel[i] = float64(cnt) / float64(n)
+	}
+	c.cellSpatialLo = make(map[grid.CellID]float64, c.grid.NumCells())
+	c.cellSpatialHi = make(map[grid.CellID]float64, c.grid.NumCells())
+	c.cellTextualLo = make(map[grid.CellID]float64, c.grid.NumCells())
+	c.cellTextualHi = make(map[grid.CellID]float64, c.grid.NumCells())
+	support := c.freq.Support()
+	c.grid.ForEachCell(func(id grid.CellID, cell *grid.Cell) {
+		// Eq. 11: every photo covers at least its own cell.
+		c.cellSpatialLo[id] = float64(len(cell.Members)) / float64(n)
+		// Eq. 12: and at most the cells within two cells away.
+		total := 0
+		for _, nid := range c.grid.Neighborhood(id, 2) {
+			total += len(c.grid.CellAt(nid).Members)
+		}
+		c.cellSpatialHi[id] = float64(total) / float64(n)
+		c.cellTextualLo[id], c.cellTextualHi[id] = c.textualRelBounds(cell, support)
+	})
+}
+
+// textualRelBounds computes Eq. 13–14 for one cell: the minimum and
+// maximum of Σ_{ψ∈Ψr} Φs(ψ)/‖Φs‖₁ over keyword sets Ψr ⊆ c.Ψ obeying the
+// cell's cardinality bounds [ψmin, ψmax].
+func (c *Context) textualRelBounds(cell *grid.Cell, support vocab.Set) (lo, hi float64) {
+	if c.freqL1 == 0 {
+		return 0, 0
+	}
+	inSupport := cell.Keywords.Intersect(support)
+	freqs := make([]float64, 0, len(inSupport))
+	for _, kw := range inSupport {
+		freqs = append(freqs, c.freq[kw])
+	}
+	sort.Float64s(freqs) // ascending
+	// Ψ+(c|s): up to ψmax keywords of c.Ψ that appear in Ψs, taking the
+	// largest frequencies; padding keywords contribute zero.
+	nHi := cell.PsiMax
+	if nHi > len(freqs) {
+		nHi = len(freqs)
+	}
+	for i := 0; i < nHi; i++ {
+		hi += freqs[len(freqs)-1-i]
+	}
+	// Ψ−(c|s): prefer the ψmin keywords outside Ψs (zero frequency); any
+	// shortfall is filled with the lowest in-support frequencies.
+	nOutside := cell.Keywords.Len() - len(inSupport)
+	need := cell.PsiMin - nOutside
+	for i := 0; i < need && i < len(freqs); i++ {
+		lo += freqs[i]
+	}
+	return lo / c.freqL1, hi / c.freqL1
+}
+
+// SpatialRel returns the spatial relevance of photo i (Def. 4).
+func (c *Context) SpatialRel(i int) float64 { return c.spatialRel[i] }
+
+// TextualRel returns the textual relevance of photo i (Def. 6); zero when
+// the street has an empty keyword vector.
+func (c *Context) TextualRel(i int) float64 {
+	if c.freqL1 == 0 {
+		return 0
+	}
+	return c.freq.SumOver(c.photos[i].Tags) / c.freqL1
+}
+
+// SpatialDiv returns the spatial diversity of photos i and j (Def. 5).
+func (c *Context) SpatialDiv(i, j int) float64 {
+	return c.photos[i].Loc.Dist(c.photos[j].Loc) / c.maxD
+}
+
+// TextualDiv returns the textual diversity of photos i and j (Def. 7).
+func (c *Context) TextualDiv(i, j int) float64 {
+	return c.photos[i].Tags.JaccardDistance(c.photos[j].Tags)
+}
+
+// Rel returns the blended relevance of photo i under weight w:
+// w·spatial_rel + (1−w)·textual_rel (the per-photo summand of Eq. 4).
+func (c *Context) Rel(i int, w float64) float64 {
+	return w*c.spatialRel[i] + (1-w)*c.TextualRel(i)
+}
+
+// Div returns the blended pairwise diversity of photos i, j under weight
+// w (the per-pair summand of Eq. 5).
+func (c *Context) Div(i, j int, w float64) float64 {
+	return w*c.SpatialDiv(i, j) + (1-w)*c.TextualDiv(i, j)
+}
+
+// MMR computes the maximal marginal relevance of candidate photo i given
+// the already-selected set (Eq. 10). k is the target summary size.
+func (c *Context) MMR(i int, selected []int, p Params) float64 {
+	v := (1 - p.Lambda) * c.Rel(i, p.W)
+	if p.K > 1 && len(selected) > 0 {
+		var div float64
+		for _, j := range selected {
+			div += c.Div(i, j, p.W)
+		}
+		v += p.Lambda / float64(p.K-1) * div
+	}
+	return v
+}
+
+// RelScore computes rel(Rk) of Eq. 4 for a selected set.
+func (c *Context) RelScore(selected []int, w float64) float64 {
+	if len(selected) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, i := range selected {
+		sum += c.Rel(i, w)
+	}
+	return sum / float64(len(selected))
+}
+
+// DivScore computes div(Rk) of Eq. 5 for a selected set; zero for fewer
+// than two photos.
+func (c *Context) DivScore(selected []int, w float64) float64 {
+	k := len(selected)
+	if k < 2 {
+		return 0
+	}
+	var sum float64
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			sum += c.Div(selected[a], selected[b], w)
+		}
+	}
+	// Eq. 5 sums over ordered pairs with the 2/(k(k−1)) normalizer, which
+	// equals the unordered-pair sum divided by k(k−1)/2.
+	return sum / (float64(k) * float64(k-1) / 2)
+}
+
+// Objective computes F(Rk) of Eq. 2: (1−λ)·rel + λ·div.
+func (c *Context) Objective(selected []int, p Params) float64 {
+	return (1-p.Lambda)*c.RelScore(selected, p.W) + p.Lambda*c.DivScore(selected, p.W)
+}
+
+// minInt returns the smaller of a and b.
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

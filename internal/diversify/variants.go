@@ -1,0 +1,89 @@
+package diversify
+
+import "fmt"
+
+// Variant names one of the nine selection criteria compared in the
+// paper's Table 3: which information is used (spatial, textual, or both)
+// and which objective components are active (relevance, diversity, or
+// both).
+type Variant int
+
+const (
+	SRel Variant = iota
+	SDiv
+	SRelDiv
+	TRel
+	TDiv
+	TRelDiv
+	STRel
+	STDiv
+	STRelDivVariant
+)
+
+// Variants lists all nine criteria in the paper's Table 3 order.
+var Variants = []Variant{SRel, SDiv, SRelDiv, TRel, TDiv, TRelDiv, STRel, STDiv, STRelDivVariant}
+
+// String implements fmt.Stringer using the paper's method names.
+func (v Variant) String() string {
+	switch v {
+	case SRel:
+		return "S_Rel"
+	case SDiv:
+		return "S_Div"
+	case SRelDiv:
+		return "S_Rel+Div"
+	case TRel:
+		return "T_Rel"
+	case TDiv:
+		return "T_Div"
+	case TRelDiv:
+		return "T_Rel+Div"
+	case STRel:
+		return "ST_Rel"
+	case STDiv:
+		return "ST_Div"
+	case STRelDivVariant:
+		return "ST_Rel+Div"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// params maps the variant onto the (λ, w) parameterization of the greedy
+// objective: S uses only spatial information (w=1), T only textual (w=0);
+// Rel uses only relevance (λ=0), Div only diversity (λ=1). The Rel+Div
+// variants keep the query's λ, and ST keeps the query's w.
+func (v Variant) params(base Params) Params {
+	p := base
+	switch v {
+	case SRel:
+		p.W, p.Lambda = 1, 0
+	case SDiv:
+		p.W, p.Lambda = 1, 1
+	case SRelDiv:
+		p.W = 1
+	case TRel:
+		p.W, p.Lambda = 0, 0
+	case TDiv:
+		p.W, p.Lambda = 0, 1
+	case TRelDiv:
+		p.W = 0
+	case STRel:
+		p.Lambda = 0
+	case STDiv:
+		p.Lambda = 1
+	}
+	return p
+}
+
+// RunVariant constructs the summary under the variant's criterion and
+// scores it with the *base* objective (λ, w of the query), exactly as the
+// paper's Table 3 evaluates each method under the balanced objective.
+func (c *Context) RunVariant(v Variant, base Params) (Result, error) {
+	res, err := c.STRelDiv(v.params(base))
+	if err != nil {
+		return Result{}, err
+	}
+	res.Objective = c.Objective(res.Selected, base)
+	return res, nil
+}

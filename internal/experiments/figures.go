@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diversify"
+)
+
+// Fig4Point is one bar of the paper's Figure 4: SOI (with its phase
+// breakdown) versus BL at one parameter setting.
+type Fig4Point struct {
+	X         int // the varied parameter value (k or |Ψ|)
+	SOITotal  time.Duration
+	SOIBuild  time.Duration
+	SOIFilter time.Duration
+	SOIRefine time.Duration
+	BLTotal   time.Duration
+	Speedup   float64
+	SeenFrac  float64 // fraction of segments SOI saw
+}
+
+// Fig4Panel is one of Figure 4's six panels.
+type Fig4Panel struct {
+	City    string
+	Varying string // "k" or "|Psi|"
+	Points  []Fig4Point
+}
+
+// Figure4Ks are the k values swept in the varying-k panels.
+var Figure4Ks = []int{10, 25, 50, 100, 200}
+
+// Figure4DefaultK is the fixed k of the varying-|Ψ| panels (the paper's
+// default k = 50).
+const Figure4DefaultK = 50
+
+// Figure4DefaultPsi is the fixed |Ψ| of the varying-k panels.
+const Figure4DefaultPsi = 3
+
+// Figure4 reproduces the paper's Figure 4 for one city: SOI vs BL total
+// time, varying k at |Ψ|=3 and varying |Ψ| at k=50.
+func Figure4(c *City, trials int) ([]Fig4Panel, error) {
+	varyK := Fig4Panel{City: c.Name(), Varying: "k"}
+	for _, k := range Figure4Ks {
+		pt, err := fig4Point(c, k, KeywordProgression[:Figure4DefaultPsi], trials)
+		if err != nil {
+			return nil, err
+		}
+		pt.X = k
+		varyK.Points = append(varyK.Points, pt)
+	}
+	varyPsi := Fig4Panel{City: c.Name(), Varying: "|Psi|"}
+	for n := 1; n <= len(KeywordProgression); n++ {
+		pt, err := fig4Point(c, Figure4DefaultK, KeywordProgression[:n], trials)
+		if err != nil {
+			return nil, err
+		}
+		pt.X = n
+		varyPsi.Points = append(varyPsi.Points, pt)
+	}
+	return []Fig4Panel{varyK, varyPsi}, nil
+}
+
+func fig4Point(c *City, k int, keywords []string, trials int) (Fig4Point, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	q := core.Query{Keywords: keywords, K: k, Epsilon: Epsilon}
+	// Per-trial phase stats; the median trial (by total phase time) is
+	// reported, which keeps the phase breakdown consistent with the total
+	// and is robust against GC pauses hitting one trial.
+	soiStats := make([]core.Stats, trials)
+	for i := range soiStats {
+		_, s, err := c.Index.SOI(q)
+		if err != nil {
+			return Fig4Point{}, err
+		}
+		soiStats[i] = s
+	}
+	sort.Slice(soiStats, func(i, j int) bool { return soiStats[i].Total() < soiStats[j].Total() })
+	stats := soiStats[trials/2]
+
+	blTotals := make([]time.Duration, trials)
+	for i := range blTotals {
+		_, s, err := c.Index.Baseline(q)
+		if err != nil {
+			return Fig4Point{}, err
+		}
+		blTotals[i] = s.Total()
+	}
+	sort.Slice(blTotals, func(i, j int) bool { return blTotals[i] < blTotals[j] })
+	blT := blTotals[trials/2]
+
+	pt := Fig4Point{
+		SOITotal:  stats.Total(),
+		SOIBuild:  stats.BuildListsTime,
+		SOIFilter: stats.FilterTime,
+		SOIRefine: stats.RefineTime,
+		BLTotal:   blT,
+	}
+	if pt.SOITotal > 0 {
+		pt.Speedup = float64(blT) / float64(pt.SOITotal)
+	}
+	if stats.TotalSegments > 0 {
+		pt.SeenFrac = float64(stats.SegmentsSeen) / float64(stats.TotalSegments)
+	}
+	return pt, nil
+}
+
+// PrintFigure4 renders one Figure 4 panel as a time series table.
+func PrintFigure4(w io.Writer, p Fig4Panel) {
+	line(w, "Figure 4: %s — varying %s (SOI phases vs BL, times in ms)", p.City, p.Varying)
+	line(w, "%6s %10s %10s %10s %10s %10s %9s %6s",
+		p.Varying, "SOI", "build", "filter", "refine", "BL", "speedup", "seen")
+	for _, pt := range p.Points {
+		line(w, "%6d %10s %10s %10s %10s %10s %8.2fx %5.0f%%",
+			pt.X, ms(pt.SOITotal), ms(pt.SOIBuild), ms(pt.SOIFilter), ms(pt.SOIRefine),
+			ms(pt.BLTotal), pt.Speedup, pt.SeenFrac*100)
+	}
+}
+
+// Fig5Point is one λ setting of the paper's Figure 5 trade-off curve.
+type Fig5Point struct {
+	Lambda    float64
+	Relevance float64 // normalized rel(Rk)
+	Diversity float64 // normalized div(Rk)
+}
+
+// Fig5Curve is one city's relevance–diversity trade-off curve.
+type Fig5Curve struct {
+	City   string
+	Points []Fig5Point
+}
+
+// Figure5Lambdas are the λ values of the paper's Figure 5.
+var Figure5Lambdas = []float64{0, 0.25, 0.5, 0.75, 1}
+
+// Figure5 sweeps λ on each city's photo street and reports the relevance
+// and diversity of the constructed k-photo summary, normalized by the
+// maximum attained across the sweep (the paper plots normalized units).
+func Figure5(cities []*City, k int) ([]Fig5Curve, error) {
+	var out []Fig5Curve
+	for _, c := range cities {
+		ctx, _, err := descriptionContext(c)
+		if err != nil {
+			return nil, err
+		}
+		curve := Fig5Curve{City: c.Name()}
+		var maxRel, maxDiv float64
+		rels := make([]float64, len(Figure5Lambdas))
+		divs := make([]float64, len(Figure5Lambdas))
+		for i, l := range Figure5Lambdas {
+			res, err := ctx.STRelDiv(diversify.Params{K: k, Lambda: l, W: 0.5, Rho: Rho})
+			if err != nil {
+				return nil, err
+			}
+			rels[i] = ctx.RelScore(res.Selected, 0.5)
+			divs[i] = ctx.DivScore(res.Selected, 0.5)
+			if rels[i] > maxRel {
+				maxRel = rels[i]
+			}
+			if divs[i] > maxDiv {
+				maxDiv = divs[i]
+			}
+		}
+		for i, l := range Figure5Lambdas {
+			pt := Fig5Point{Lambda: l}
+			if maxRel > 0 {
+				pt.Relevance = rels[i] / maxRel
+			}
+			if maxDiv > 0 {
+				pt.Diversity = divs[i] / maxDiv
+			}
+			curve.Points = append(curve.Points, pt)
+		}
+		out = append(out, curve)
+	}
+	return out, nil
+}
+
+// PrintFigure5 renders the trade-off curves.
+func PrintFigure5(w io.Writer, curves []Fig5Curve) {
+	line(w, "Figure 5: Trade-off between relevance and diversity (w = 0.5).")
+	line(w, "%-10s %8s %12s %12s", "City", "lambda", "relevance", "diversity")
+	for _, c := range curves {
+		for _, p := range c.Points {
+			line(w, "%-10s %8.2f %12.3f %12.3f", c.City, p.Lambda, p.Relevance, p.Diversity)
+		}
+	}
+}
+
+// Fig6Point is one parameter setting of the paper's Figure 6.
+type Fig6Point struct {
+	X        float64 // the varied parameter (k, λ, or w)
+	STTotal  time.Duration
+	BLTotal  time.Duration
+	Speedup  float64
+	Photos   int // photos evaluated by ST_Rel+Div
+	Baseline int // photos evaluated by BL
+}
+
+// Fig6Panel is one of Figure 6's nine panels.
+type Fig6Panel struct {
+	City    string
+	Varying string // "k", "lambda", or "w"
+	Points  []Fig6Point
+}
+
+// Figure 6 parameter sweeps (paper defaults k=20, λ=0.5, w=0.5).
+var (
+	Figure6Ks      = []int{10, 20, 30, 40, 50}
+	Figure6Lambdas = []float64{0, 0.25, 0.5, 0.75, 1}
+	Figure6Ws      = []float64{0, 0.25, 0.5, 0.75, 1}
+)
+
+// Figure6DefaultK is the default summary size of Figure 6.
+const Figure6DefaultK = 20
+
+// Figure6 reproduces the paper's Figure 6 for one city: ST_Rel+Div vs BL
+// on the photo street, varying k, λ and w.
+func Figure6(c *City, trials int) ([]Fig6Panel, error) {
+	ctx, _, err := descriptionContext(c)
+	if err != nil {
+		return nil, err
+	}
+	panels := []Fig6Panel{
+		{City: c.Name(), Varying: "k"},
+		{City: c.Name(), Varying: "lambda"},
+		{City: c.Name(), Varying: "w"},
+	}
+	for _, k := range Figure6Ks {
+		pt, err := fig6Point(ctx, diversify.Params{K: k, Lambda: 0.5, W: 0.5, Rho: Rho}, trials)
+		if err != nil {
+			return nil, err
+		}
+		pt.X = float64(k)
+		panels[0].Points = append(panels[0].Points, pt)
+	}
+	for _, l := range Figure6Lambdas {
+		pt, err := fig6Point(ctx, diversify.Params{K: Figure6DefaultK, Lambda: l, W: 0.5, Rho: Rho}, trials)
+		if err != nil {
+			return nil, err
+		}
+		pt.X = l
+		panels[1].Points = append(panels[1].Points, pt)
+	}
+	for _, w := range Figure6Ws {
+		pt, err := fig6Point(ctx, diversify.Params{K: Figure6DefaultK, Lambda: 0.5, W: w, Rho: Rho}, trials)
+		if err != nil {
+			return nil, err
+		}
+		pt.X = w
+		panels[2].Points = append(panels[2].Points, pt)
+	}
+	return panels, nil
+}
+
+func fig6Point(ctx *diversify.Context, p diversify.Params, trials int) (Fig6Point, error) {
+	var (
+		stRes, blRes diversify.Result
+		lastErr      error
+	)
+	stT := medianOf(trials, func() {
+		r, err := ctx.STRelDiv(p)
+		if err != nil {
+			lastErr = err
+		}
+		stRes = r
+	})
+	if lastErr != nil {
+		return Fig6Point{}, lastErr
+	}
+	blT := medianOf(trials, func() {
+		r, err := ctx.Baseline(p)
+		if err != nil {
+			lastErr = err
+		}
+		blRes = r
+	})
+	if lastErr != nil {
+		return Fig6Point{}, lastErr
+	}
+	pt := Fig6Point{
+		STTotal:  stT,
+		BLTotal:  blT,
+		Photos:   stRes.Stats.PhotosEvaluated,
+		Baseline: blRes.Stats.PhotosEvaluated,
+	}
+	if stT > 0 {
+		pt.Speedup = float64(blT) / float64(stT)
+	}
+	return pt, nil
+}
+
+// PrintFigure6 renders one Figure 6 panel.
+func PrintFigure6(w io.Writer, p Fig6Panel) {
+	line(w, "Figure 6: %s — varying %s (ST_Rel+Div vs BL, times in ms)", p.City, p.Varying)
+	line(w, "%8s %12s %12s %9s %12s %12s", p.Varying, "ST_Rel+Div", "BL", "speedup", "ST photos", "BL photos")
+	for _, pt := range p.Points {
+		line(w, "%8.2f %12s %12s %8.2fx %12d %12d",
+			pt.X, ms(pt.STTotal), ms(pt.BLTotal), pt.Speedup, pt.Photos, pt.Baseline)
+	}
+}

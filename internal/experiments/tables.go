@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/metrics"
+)
+
+// Table1Row is one dataset statistics row (paper Table 1).
+type Table1Row struct {
+	Dataset     string
+	NumSegments int
+	MinSegLenM  float64
+	MaxSegLenM  float64
+	NumPOIs     int
+}
+
+// metersPerDeg converts coordinate degrees to the paper's meters.
+const metersPerDeg = 55 / 0.0005
+
+// Table1 computes the dataset statistics of the paper's Table 1.
+func Table1(cities []*City) []Table1Row {
+	rows := make([]Table1Row, 0, len(cities))
+	for _, c := range cities {
+		st := c.Dataset.Network.Stats()
+		rows = append(rows, Table1Row{
+			Dataset:     c.Name(),
+			NumSegments: st.NumSegments,
+			MinSegLenM:  st.MinSegmentLen * metersPerDeg,
+			MaxSegLenM:  st.MaxSegmentLen * metersPerDeg,
+			NumPOIs:     c.Dataset.POIs.Len(),
+		})
+	}
+	return rows
+}
+
+// PrintTable1 renders Table 1.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	line(w, "Table 1: Datasets used in the evaluation.")
+	line(w, "%-10s %12s %16s %16s %12s", "Dataset", "Num of segm.", "Min segm. len(m)", "Max segm. len(m)", "Num of POIs")
+	for _, r := range rows {
+		line(w, "%-10s %12d %16.2f %16.2f %12d", r.Dataset, r.NumSegments, r.MinSegLenM, r.MaxSegLenM, r.NumPOIs)
+	}
+}
+
+// Table2Result is the shopping-streets effectiveness study (paper Table 2
+// plus the Figure 2 site classification).
+type Table2Result struct {
+	City    string
+	TopK    []string    // ranked SOI result
+	Sources [2][]string // the two authoritative lists
+	Recall  [2]float64  // recall@k against each source
+	// NDCG grades the ranking against the planted ground truth, using
+	// each street's planted site density as its relevance grade.
+	NDCG float64
+	// Tau is Kendall's rank correlation between the answer and the
+	// planted density ranking over their common streets.
+	Tau float64
+	// SiteOf classifies every street appearing anywhere: planted site
+	// rank (0 = densest) or -1 for an unplanted street.
+	SiteOf map[string]int
+}
+
+// Table2 runs the paper's Table 2 scenario on a city: top-k streets for
+// the "shop" keyword, compared against the two planted source lists.
+func Table2(c *City, k int) (Table2Result, error) {
+	res, _, err := c.Index.SOI(core.Query{Keywords: []string{"shop"}, K: k, Epsilon: Epsilon})
+	if err != nil {
+		return Table2Result{}, err
+	}
+	out := Table2Result{
+		City:    c.Name(),
+		Sources: c.Dataset.Truth.SourceLists,
+		SiteOf:  map[string]int{},
+	}
+	for _, r := range res {
+		out.TopK = append(out.TopK, r.Name)
+	}
+	for i, src := range out.Sources {
+		out.Recall[i] = metrics.RecallAtK(out.TopK, src, k)
+	}
+	grades := map[string]float64{}
+	for rank, site := range c.Dataset.Profile.ShopSites {
+		for _, s := range site.Streets {
+			out.SiteOf[s] = rank
+			grades[s] = site.Density
+		}
+	}
+	out.NDCG = metrics.NDCGAtK(out.TopK, grades, k)
+	out.Tau = metrics.KendallTau(out.TopK, c.Dataset.Truth.ShoppingStreets)
+	return out, nil
+}
+
+// PrintTable2 renders the Table 2 comparison plus a Figure-2-style
+// classification of each returned street.
+func PrintTable2(w io.Writer, r Table2Result) {
+	line(w, "Table 2: Comparison of identified top SOIs for \"shop\" in %s.", r.City)
+	line(w, "%-4s %-32s %-28s %-28s", "", "Top SOIs", "Source #1", "Source #2")
+	n := len(r.TopK)
+	if len(r.Sources[0]) > n {
+		n = len(r.Sources[0])
+	}
+	if len(r.Sources[1]) > n {
+		n = len(r.Sources[1])
+	}
+	at := func(s []string, i int) string {
+		if i < len(s) {
+			return s[i]
+		}
+		return ""
+	}
+	for i := 0; i < n; i++ {
+		line(w, "%-4d %-32s %-28s %-28s", i+1, at(r.TopK, i), at(r.Sources[0], i), at(r.Sources[1], i))
+	}
+	line(w, "recall@%d vs Source #1: %.2f   vs Source #2: %.2f   nDCG@%d vs planted: %.2f   Kendall τ: %.2f",
+		len(r.TopK), r.Recall[0], r.Recall[1], len(r.TopK), r.NDCG, r.Tau)
+	line(w, "")
+	line(w, "Figure 2 analogue: classification of returned streets")
+	inSource := func(s string) bool {
+		for _, src := range r.Sources {
+			for _, x := range src {
+				if x == s {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, s := range r.TopK {
+		class := "false positive (unplanted)"
+		if site, ok := r.SiteOf[s]; ok {
+			if inSource(s) {
+				class = "true positive"
+			} else {
+				class = "valid adjacent street" // planted but not in a source list
+			}
+			line(w, "  %-32s site %d, %s", s, site+1, class)
+			continue
+		}
+		line(w, "  %-32s %s", s, class)
+	}
+	for _, src := range r.Sources {
+		for _, s := range src {
+			found := false
+			for _, x := range r.TopK {
+				if x == s {
+					found = true
+				}
+			}
+			if !found {
+				line(w, "  %-32s false negative (in a source, below rank %d)", s, len(r.TopK))
+			}
+		}
+	}
+}
+
+// Table3Row is one method's normalized objective score per city.
+type Table3Row struct {
+	Method string
+	Scores []float64 // parallel to the city list; normalized to ST_Rel+Div
+}
+
+// Table3 scores the nine selection criteria on each city's photo street
+// with the balanced objective (λ = w = 0.5), normalized by ST_Rel+Div's
+// score, as the paper's Table 3 reports.
+func Table3(cities []*City, k int) ([]Table3Row, error) {
+	base := diversify.Params{K: k, Lambda: 0.5, W: 0.5, Rho: Rho}
+	rows := make([]Table3Row, len(diversify.Variants))
+	for i, v := range diversify.Variants {
+		rows[i] = Table3Row{Method: v.String(), Scores: make([]float64, len(cities))}
+	}
+	for ci, c := range cities {
+		ctx, _, err := descriptionContext(c)
+		if err != nil {
+			return nil, err
+		}
+		raw := make([]float64, len(rows))
+		var ref float64
+		for vi, v := range diversify.Variants {
+			res, err := ctx.RunVariant(v, base)
+			if err != nil {
+				return nil, err
+			}
+			raw[vi] = res.Objective
+			if v == diversify.STRelDivVariant {
+				ref = res.Objective
+			}
+		}
+		for vi := range rows {
+			if ref > 0 {
+				rows[vi].Scores[ci] = raw[vi] / ref
+			}
+		}
+	}
+	return rows, nil
+}
+
+// PrintTable3 renders Table 3.
+func PrintTable3(w io.Writer, cities []*City, rows []Table3Row) {
+	line(w, "Table 3: Objective scores (Eq. 2 after normalization), k=3 photos, λ=w=0.5.")
+	header := "%-12s"
+	args := []interface{}{"Method"}
+	for _, c := range cities {
+		header += " %10s"
+		args = append(args, c.Name())
+	}
+	line(w, header, args...)
+	for _, r := range rows {
+		vals := []interface{}{r.Method}
+		f := "%-12s"
+		for _, s := range r.Scores {
+			f += " %10.3f"
+			vals = append(vals, s)
+		}
+		line(w, f, vals...)
+	}
+}
+
+// Table4Row is one city's relevant-POI counts per keyword prefix.
+type Table4Row struct {
+	Dataset string
+	Counts  []int // counts for |Ψ| = 1..len(KeywordProgression)
+}
+
+// Table4 counts the POIs relevant to each prefix of the paper's keyword
+// progression (paper Table 4).
+func Table4(cities []*City) []Table4Row {
+	rows := make([]Table4Row, 0, len(cities))
+	for _, c := range cities {
+		row := Table4Row{Dataset: c.Name()}
+		for n := 1; n <= len(KeywordProgression); n++ {
+			q, _ := c.Dataset.Dict.LookupAll(KeywordProgression[:n])
+			row.Counts = append(row.Counts, c.Dataset.POIs.CountRelevant(q))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PrintTable4 renders Table 4.
+func PrintTable4(w io.Writer, rows []Table4Row) {
+	line(w, "Table 4: Relevant POIs according to |Ψ|.")
+	line(w, "%-10s %10s %10s %10s %10s", "Dataset", "|Ψ|=1", "|Ψ|=2", "|Ψ|=3", "|Ψ|=4")
+	for _, r := range rows {
+		line(w, "%-10s %10d %10d %10d %10d", r.Dataset, r.Counts[0], r.Counts[1], r.Counts[2], r.Counts[3])
+	}
+}

@@ -1,0 +1,347 @@
+// Package grid implements the spatial index substrate of the paper
+// (Sections 3.2.1 and 4.2.1): a uniform grid over a set of located,
+// keyword-tagged objects (POIs or photos) where every non-empty cell
+// carries a local inverted index from keywords to member postings, plus a
+// global inverted index mapping each keyword to the cells that contain it,
+// sorted decreasingly by count (the SOI algorithm's source list SL1).
+//
+// The grid also answers the geometric queries the algorithms need: which
+// non-empty cells lie within distance ε of a segment (the ε-augmented
+// cell↔segment maps), and which cells fall in a (2Δ+1)×(2Δ+1) neighborhood
+// of a given cell (the diversification spatial-relevance bounds).
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/vocab"
+)
+
+// CellID is a linearized cell coordinate: id = ix + iy*nx.
+type CellID int32
+
+// Cell holds the members of one non-empty grid cell together with its
+// local inverted index and tag-cardinality bounds.
+type Cell struct {
+	// Members lists object ids in the cell, sorted ascending.
+	Members []uint32
+	// Inv maps each keyword to the cell members carrying it, sorted
+	// ascending by id (the paper's postings lists c.I[ψ]).
+	Inv map[vocab.ID][]uint32
+	// Keywords is the sorted set of keywords present in the cell (c.Ψ).
+	Keywords vocab.Set
+	// PsiMin and PsiMax bound the keyword-set cardinality of the cell's
+	// members (c.ψmin, c.ψmax in Section 4.2.1).
+	PsiMin, PsiMax int
+}
+
+// Grid is an immutable uniform grid over a set of objects.
+type Grid struct {
+	bounds   geo.Rect
+	cellSize float64
+	nx, ny   int
+	cells    map[CellID]*Cell
+	n        int
+}
+
+// Config controls grid construction.
+type Config struct {
+	// CellSize is the side length of each square cell; must be positive.
+	CellSize float64
+	// Bounds is the area to cover. When zero, the bounding rectangle of
+	// the objects is used.
+	Bounds geo.Rect
+}
+
+// Build constructs a grid over objects given by parallel slices of
+// locations and keyword sets. Objects outside Bounds are clamped into the
+// border cells so that no object is lost.
+func Build(cfg Config, locs []geo.Point, keys []vocab.Set) (*Grid, error) {
+	if cfg.CellSize <= 0 {
+		return nil, fmt.Errorf("grid: non-positive cell size %v", cfg.CellSize)
+	}
+	if len(keys) != 0 && len(keys) != len(locs) {
+		return nil, fmt.Errorf("grid: %d locations but %d keyword sets", len(locs), len(keys))
+	}
+	b := cfg.Bounds
+	if b == (geo.Rect{}) {
+		for i, p := range locs {
+			r := geo.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+			if i == 0 {
+				b = r
+			} else {
+				b = b.Union(r)
+			}
+		}
+	}
+	if !b.IsValid() {
+		return nil, fmt.Errorf("grid: invalid bounds %v", b)
+	}
+	nx := int(math.Ceil(b.Width()/cfg.CellSize)) + 1
+	ny := int(math.Ceil(b.Height()/cfg.CellSize)) + 1
+	g := &Grid{
+		bounds:   b,
+		cellSize: cfg.CellSize,
+		nx:       nx,
+		ny:       ny,
+		cells:    make(map[CellID]*Cell),
+		n:        len(locs),
+	}
+	for i, p := range locs {
+		cid := g.CellIndex(p)
+		c := g.cells[cid]
+		if c == nil {
+			c = &Cell{Inv: make(map[vocab.ID][]uint32), PsiMin: math.MaxInt}
+			g.cells[cid] = c
+		}
+		id := uint32(i)
+		c.Members = append(c.Members, id)
+		var ks vocab.Set
+		if len(keys) > 0 {
+			ks = keys[i]
+		}
+		for _, kw := range ks {
+			c.Inv[kw] = append(c.Inv[kw], id)
+		}
+		if n := ks.Len(); n < c.PsiMin {
+			c.PsiMin = n
+		}
+		if n := ks.Len(); n > c.PsiMax {
+			c.PsiMax = n
+		}
+	}
+	for _, c := range g.cells {
+		ids := make([]vocab.ID, 0, len(c.Inv))
+		for kw := range c.Inv {
+			ids = append(ids, kw)
+		}
+		c.Keywords = vocab.NewSet(ids)
+		if c.PsiMin == math.MaxInt {
+			c.PsiMin = 0
+		}
+	}
+	return g, nil
+}
+
+// Len returns the number of indexed objects.
+func (g *Grid) Len() int { return g.n }
+
+// Insert adds an object to the grid after construction, maintaining the
+// per-cell invariants (sorted members and postings, keyword set,
+// cardinality bounds). Object ids must be inserted in increasing order so
+// that the sorted-postings invariant holds by appending; out-of-order ids
+// are rejected. Insert is not safe for concurrent use with readers.
+func (g *Grid) Insert(id uint32, loc geo.Point, keys vocab.Set) error {
+	cid := g.CellIndex(loc)
+	c := g.cells[cid]
+	if c == nil {
+		c = &Cell{Inv: make(map[vocab.ID][]uint32)}
+		g.cells[cid] = c
+	}
+	if n := len(c.Members); n > 0 && c.Members[n-1] >= id {
+		return fmt.Errorf("grid: insert id %d out of order (cell tail %d)", id, c.Members[n-1])
+	}
+	first := len(c.Members) == 0
+	c.Members = append(c.Members, id)
+	for _, kw := range keys {
+		c.Inv[kw] = append(c.Inv[kw], id)
+	}
+	c.Keywords = c.Keywords.Union(keys)
+	if n := keys.Len(); first {
+		c.PsiMin, c.PsiMax = n, n
+	} else {
+		if n < c.PsiMin {
+			c.PsiMin = n
+		}
+		if n > c.PsiMax {
+			c.PsiMax = n
+		}
+	}
+	g.n++
+	return nil
+}
+
+// NumCells returns the number of non-empty cells.
+func (g *Grid) NumCells() int { return len(g.cells) }
+
+// Dims returns the grid dimensions (nx, ny).
+func (g *Grid) Dims() (int, int) { return g.nx, g.ny }
+
+// CellSize returns the side length of each cell.
+func (g *Grid) CellSize() float64 { return g.cellSize }
+
+// Bounds returns the area the grid covers.
+func (g *Grid) Bounds() geo.Rect { return g.bounds }
+
+// CellIndex returns the cell id containing p, clamped into the grid.
+func (g *Grid) CellIndex(p geo.Point) CellID {
+	ix := int((p.X - g.bounds.MinX) / g.cellSize)
+	iy := int((p.Y - g.bounds.MinY) / g.cellSize)
+	ix = clamp(ix, 0, g.nx-1)
+	iy = clamp(iy, 0, g.ny-1)
+	return CellID(ix + iy*g.nx)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Coords returns the (ix, iy) coordinates of a cell id.
+func (g *Grid) Coords(id CellID) (int, int) {
+	return int(id) % g.nx, int(id) / g.nx
+}
+
+// CellAt returns the cell with the given id, or nil when empty.
+func (g *Grid) CellAt(id CellID) *Cell { return g.cells[id] }
+
+// CellRect returns the rectangle covered by the cell.
+func (g *Grid) CellRect(id CellID) geo.Rect {
+	ix, iy := g.Coords(id)
+	minX := g.bounds.MinX + float64(ix)*g.cellSize
+	minY := g.bounds.MinY + float64(iy)*g.cellSize
+	return geo.Rect{MinX: minX, MinY: minY, MaxX: minX + g.cellSize, MaxY: minY + g.cellSize}
+}
+
+// ForEachCell invokes fn for every non-empty cell. Iteration order is
+// unspecified.
+func (g *Grid) ForEachCell(fn func(id CellID, c *Cell)) {
+	for id, c := range g.cells {
+		fn(id, c)
+	}
+}
+
+// NonEmptyCells returns the ids of all non-empty cells, sorted ascending
+// for deterministic iteration.
+func (g *Grid) NonEmptyCells() []CellID {
+	out := make([]CellID, 0, len(g.cells))
+	for id := range g.cells {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CellsNearSegment returns the ids of all non-empty cells whose rectangle
+// lies within distance eps of seg, sorted ascending. This realizes the
+// ε-augmented segment-to-cell map Cε(ℓ): any object within eps of the
+// segment is guaranteed to live in one of the returned cells.
+func (g *Grid) CellsNearSegment(seg geo.Segment, eps float64) []CellID {
+	b := seg.Bounds().Expand(eps)
+	ix0 := clamp(int((b.MinX-g.bounds.MinX)/g.cellSize), 0, g.nx-1)
+	ix1 := clamp(int((b.MaxX-g.bounds.MinX)/g.cellSize), 0, g.nx-1)
+	iy0 := clamp(int((b.MinY-g.bounds.MinY)/g.cellSize), 0, g.ny-1)
+	iy1 := clamp(int((b.MaxY-g.bounds.MinY)/g.cellSize), 0, g.ny-1)
+	var out []CellID
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			id := CellID(ix + iy*g.nx)
+			if g.cells[id] == nil {
+				continue
+			}
+			if g.CellRect(id).DistToSegment(seg) <= eps {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// CellsNearPoint returns the ids of all non-empty cells whose rectangle
+// lies within distance eps of p, sorted ascending.
+func (g *Grid) CellsNearPoint(p geo.Point, eps float64) []CellID {
+	ix0 := clamp(int((p.X-eps-g.bounds.MinX)/g.cellSize), 0, g.nx-1)
+	ix1 := clamp(int((p.X+eps-g.bounds.MinX)/g.cellSize), 0, g.nx-1)
+	iy0 := clamp(int((p.Y-eps-g.bounds.MinY)/g.cellSize), 0, g.ny-1)
+	iy1 := clamp(int((p.Y+eps-g.bounds.MinY)/g.cellSize), 0, g.ny-1)
+	var out []CellID
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			id := CellID(ix + iy*g.nx)
+			if g.cells[id] == nil {
+				continue
+			}
+			if g.CellRect(id).MinDistToPoint(p) <= eps {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// Neighborhood returns the ids of all non-empty cells within Chebyshev
+// distance delta of the given cell (the (2δ+1)² block around it,
+// including the cell itself). Used by the diversification spatial
+// relevance bounds with delta = 2 (Eq. 12).
+func (g *Grid) Neighborhood(id CellID, delta int) []CellID {
+	ix, iy := g.Coords(id)
+	var out []CellID
+	for dy := -delta; dy <= delta; dy++ {
+		y := iy + dy
+		if y < 0 || y >= g.ny {
+			continue
+		}
+		for dx := -delta; dx <= delta; dx++ {
+			x := ix + dx
+			if x < 0 || x >= g.nx {
+				continue
+			}
+			nid := CellID(x + y*g.nx)
+			if g.cells[nid] != nil {
+				out = append(out, nid)
+			}
+		}
+	}
+	return out
+}
+
+// CellEntry pairs a cell with a per-keyword member count; the global
+// inverted index entry of Section 3.2.1.
+type CellEntry struct {
+	Cell  CellID
+	Count int
+}
+
+// Inverted is the global inverted index: for every keyword, the list of
+// cells containing it with their counts, sorted decreasingly by count
+// (ties broken by cell id for determinism).
+type Inverted struct {
+	entries map[vocab.ID][]CellEntry
+}
+
+// BuildInverted derives the global inverted index from the grid.
+func (g *Grid) BuildInverted() *Inverted {
+	inv := &Inverted{entries: make(map[vocab.ID][]CellEntry)}
+	for id, c := range g.cells {
+		for kw, postings := range c.Inv {
+			inv.entries[kw] = append(inv.entries[kw], CellEntry{Cell: id, Count: len(postings)})
+		}
+	}
+	for kw := range inv.entries {
+		es := inv.entries[kw]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].Count != es[j].Count {
+				return es[i].Count > es[j].Count
+			}
+			return es[i].Cell < es[j].Cell
+		})
+	}
+	return inv
+}
+
+// Entries returns the cell list for a keyword, sorted decreasingly by
+// count. The returned slice must not be modified.
+func (inv *Inverted) Entries(kw vocab.ID) []CellEntry {
+	return inv.entries[kw]
+}
+
+// NumKeywords returns the number of keywords with at least one posting.
+func (inv *Inverted) NumKeywords() int { return len(inv.entries) }

@@ -1,0 +1,412 @@
+package grid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/vocab"
+)
+
+func buildSmall(t *testing.T) (*Grid, *vocab.Dictionary) {
+	t.Helper()
+	d := vocab.NewDictionary()
+	locs := []geo.Point{
+		geo.Pt(0.1, 0.1), geo.Pt(0.15, 0.12), // cell (0,0)
+		geo.Pt(1.5, 0.1),                     // cell (1,0) with size 1
+		geo.Pt(0.2, 2.7), geo.Pt(0.25, 2.75), // cell (0,2)
+	}
+	keys := []vocab.Set{
+		d.InternAll([]string{"shop"}),
+		d.InternAll([]string{"shop", "food"}),
+		d.InternAll([]string{"food"}),
+		d.InternAll([]string{"shop"}),
+		d.InternAll([]string{"park", "shop", "food"}),
+	}
+	g, err := Build(Config{CellSize: 1, Bounds: geo.R(0, 0, 3, 3)}, locs, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, d
+}
+
+func TestBuildBasics(t *testing.T) {
+	g, _ := buildSmall(t)
+	if g.Len() != 5 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.NumCells() != 3 {
+		t.Fatalf("NumCells = %d", g.NumCells())
+	}
+	nx, ny := g.Dims()
+	if nx < 3 || ny < 3 {
+		t.Fatalf("Dims = %d,%d", nx, ny)
+	}
+	if g.CellSize() != 1 {
+		t.Fatalf("CellSize = %v", g.CellSize())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Config{CellSize: 0}, nil, nil); err == nil {
+		t.Error("expected error for zero cell size")
+	}
+	if _, err := Build(Config{CellSize: 1}, []geo.Point{geo.Pt(0, 0)}, []vocab.Set{nil, nil}); err == nil {
+		t.Error("expected error for slice length mismatch")
+	}
+	if _, err := Build(Config{CellSize: 1, Bounds: geo.R(2, 0, 1, 1)}, nil, nil); err == nil {
+		t.Error("expected error for invalid bounds")
+	}
+}
+
+func TestBuildAutoBounds(t *testing.T) {
+	locs := []geo.Point{geo.Pt(1, 1), geo.Pt(4, 5)}
+	g, err := Build(Config{CellSize: 1}, locs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range locs {
+		c := g.CellAt(g.CellIndex(p))
+		if c == nil {
+			t.Fatalf("object %d not in any cell", i)
+		}
+		found := false
+		for _, m := range c.Members {
+			if m == uint32(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("object %d missing from its cell", i)
+		}
+	}
+}
+
+func TestCellRectContainsMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	locs := make([]geo.Point, 500)
+	for i := range locs {
+		locs[i] = geo.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	g, err := Build(Config{CellSize: 0.7}, locs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	g.ForEachCell(func(id CellID, c *Cell) {
+		r := g.CellRect(id)
+		for _, m := range c.Members {
+			if !r.Expand(1e-9).Contains(locs[m]) {
+				t.Errorf("object %d at %v outside its cell rect %v", m, locs[m], r)
+			}
+		}
+		total += len(c.Members)
+	})
+	if total != len(locs) {
+		t.Fatalf("cells hold %d objects, want %d", total, len(locs))
+	}
+}
+
+func TestCellInvertedIndex(t *testing.T) {
+	g, d := buildSmall(t)
+	shop, _ := d.Lookup("shop")
+	food, _ := d.Lookup("food")
+	c := g.CellAt(g.CellIndex(geo.Pt(0.1, 0.1)))
+	if c == nil {
+		t.Fatal("cell (0,0) empty")
+	}
+	if got := len(c.Inv[shop]); got != 2 {
+		t.Errorf("shop postings = %d, want 2", got)
+	}
+	if got := len(c.Inv[food]); got != 1 {
+		t.Errorf("food postings = %d, want 1", got)
+	}
+	if c.PsiMin != 1 || c.PsiMax != 2 {
+		t.Errorf("psi bounds = %d,%d", c.PsiMin, c.PsiMax)
+	}
+	if !c.Keywords.Contains(shop) || !c.Keywords.Contains(food) {
+		t.Errorf("cell keywords = %v", c.Keywords)
+	}
+	// Postings must be sorted ascending.
+	for kw, ps := range c.Inv {
+		if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i] < ps[j] }) {
+			t.Errorf("postings for kw %d not sorted: %v", kw, ps)
+		}
+	}
+}
+
+func TestPsiMinZeroForUntagged(t *testing.T) {
+	d := vocab.NewDictionary()
+	g, err := Build(Config{CellSize: 1}, []geo.Point{geo.Pt(0, 0), geo.Pt(0.1, 0.1)},
+		[]vocab.Set{nil, d.InternAll([]string{"a", "b"})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.CellAt(g.CellIndex(geo.Pt(0, 0)))
+	if c.PsiMin != 0 || c.PsiMax != 2 {
+		t.Fatalf("psi bounds = %d,%d", c.PsiMin, c.PsiMax)
+	}
+}
+
+func TestCellsNearSegmentCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	locs := make([]geo.Point, 800)
+	for i := range locs {
+		locs[i] = geo.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	g, err := Build(Config{CellSize: 0.5, Bounds: geo.R(0, 0, 10, 10)}, locs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		seg := geo.Segment{
+			A: geo.Pt(rng.Float64()*10, rng.Float64()*10),
+			B: geo.Pt(rng.Float64()*10, rng.Float64()*10),
+		}
+		eps := rng.Float64() * 1.5
+		near := g.CellsNearSegment(seg, eps)
+		nearSet := make(map[CellID]bool, len(near))
+		for _, id := range near {
+			nearSet[id] = true
+			if g.CellRect(id).DistToSegment(seg) > eps+1e-9 {
+				t.Fatalf("cell %d too far from segment", id)
+			}
+		}
+		// Coverage: every object within eps lives in a returned cell.
+		for i, p := range locs {
+			if seg.DistToPoint(p) <= eps {
+				if !nearSet[g.CellIndex(p)] {
+					t.Fatalf("object %d within eps but its cell not returned", i)
+				}
+			}
+		}
+	}
+}
+
+func TestCellsNearPointCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	locs := make([]geo.Point, 500)
+	for i := range locs {
+		locs[i] = geo.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	g, err := Build(Config{CellSize: 0.4, Bounds: geo.R(0, 0, 10, 10)}, locs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		p := geo.Pt(rng.Float64()*10, rng.Float64()*10)
+		eps := rng.Float64()
+		near := g.CellsNearPoint(p, eps)
+		nearSet := make(map[CellID]bool, len(near))
+		for _, id := range near {
+			nearSet[id] = true
+		}
+		for i, q := range locs {
+			if p.Dist(q) <= eps && !nearSet[g.CellIndex(q)] {
+				t.Fatalf("object %d within eps of point but cell missing", i)
+			}
+		}
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	locs := []geo.Point{
+		geo.Pt(0.5, 0.5), geo.Pt(1.5, 0.5), geo.Pt(2.5, 0.5), geo.Pt(3.5, 0.5), geo.Pt(0.5, 1.5), geo.Pt(2.5, 2.5),
+	}
+	g, err := Build(Config{CellSize: 1, Bounds: geo.R(0, 0, 4, 4)}, locs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := g.CellIndex(geo.Pt(1.5, 0.5))
+	got := g.Neighborhood(center, 1)
+	// Within Chebyshev distance 1 of cell (1,0): cells (0,0),(1,0),(2,0),(0,1) are non-empty.
+	if len(got) != 4 {
+		t.Fatalf("Neighborhood(1) = %v, want 4 cells", got)
+	}
+	got2 := g.Neighborhood(center, 2)
+	// delta=2 adds (3,0) and (2,2)... (2,2) is at Chebyshev distance max(1,2)=2: included.
+	if len(got2) != 6 {
+		t.Fatalf("Neighborhood(2) = %v, want 6 cells", got2)
+	}
+	// delta=0 is just the cell itself.
+	if got0 := g.Neighborhood(center, 0); len(got0) != 1 || got0[0] != center {
+		t.Fatalf("Neighborhood(0) = %v", got0)
+	}
+}
+
+func TestNeighborhoodAtBorder(t *testing.T) {
+	locs := []geo.Point{geo.Pt(0.5, 0.5)}
+	g, err := Build(Config{CellSize: 1, Bounds: geo.R(0, 0, 2, 2)}, locs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Neighborhood(g.CellIndex(geo.Pt(0.5, 0.5)), 2)
+	if len(got) != 1 {
+		t.Fatalf("border Neighborhood = %v", got)
+	}
+}
+
+func TestBuildInverted(t *testing.T) {
+	g, d := buildSmall(t)
+	inv := g.BuildInverted()
+	shop, _ := d.Lookup("shop")
+	es := inv.Entries(shop)
+	// shop appears in cell (0,0) (objects 0,1) and cell (0,2) (objects 3,4).
+	if len(es) != 2 {
+		t.Fatalf("shop cells = %d, want 2", len(es))
+	}
+	// Sorted decreasingly by count.
+	for i := 1; i < len(es); i++ {
+		if es[i].Count > es[i-1].Count {
+			t.Fatalf("entries not sorted: %v", es)
+		}
+	}
+	if es[0].Count != 2 {
+		t.Fatalf("top shop cell count = %d, want 2", es[0].Count)
+	}
+	if inv.NumKeywords() != 3 {
+		t.Fatalf("NumKeywords = %d", inv.NumKeywords())
+	}
+	if inv.Entries(999) != nil {
+		t.Fatal("unknown keyword should have nil entries")
+	}
+}
+
+func TestNonEmptyCellsSorted(t *testing.T) {
+	g, _ := buildSmall(t)
+	ids := g.NonEmptyCells()
+	if len(ids) != g.NumCells() {
+		t.Fatalf("NonEmptyCells len = %d", len(ids))
+	}
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+		t.Fatalf("ids not sorted: %v", ids)
+	}
+}
+
+func TestClampedOutOfBoundsInsert(t *testing.T) {
+	// Objects outside the configured bounds are clamped into border cells.
+	locs := []geo.Point{geo.Pt(-5, -5), geo.Pt(100, 100)}
+	g, err := Build(Config{CellSize: 1, Bounds: geo.R(0, 0, 10, 10)}, locs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	g.ForEachCell(func(id CellID, c *Cell) { total += len(c.Members) })
+	if total != 2 {
+		t.Fatalf("clamped objects lost: %d indexed", total)
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	g, _ := buildSmall(t)
+	nx, ny := g.Dims()
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			id := CellID(ix + iy*nx)
+			gx, gy := g.Coords(id)
+			if gx != ix || gy != iy {
+				t.Fatalf("Coords(%d) = %d,%d want %d,%d", id, gx, gy, ix, iy)
+			}
+		}
+	}
+}
+
+// TestInsertMatchesBulkBuild: a grid grown with Insert must be
+// structurally identical to one built with all objects upfront.
+func TestInsertMatchesBulkBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 20; trial++ {
+		d := vocab.NewDictionary()
+		n := rng.Intn(120) + 10
+		locs := make([]geo.Point, n)
+		keys := make([]vocab.Set, n)
+		words := []string{"a", "b", "c", "d"}
+		for i := range locs {
+			locs[i] = geo.Pt(rng.Float64()*5, rng.Float64()*5)
+			var tags []string
+			for _, w := range words {
+				if rng.Float64() < 0.4 {
+					tags = append(tags, w)
+				}
+			}
+			keys[i] = d.InternAll(tags)
+		}
+		bounds := geo.R(0, 0, 5, 5)
+		bulk, err := Build(Config{CellSize: 0.7, Bounds: bounds}, locs, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := n / 2
+		inc, err := Build(Config{CellSize: 0.7, Bounds: bounds}, locs[:half], keys[:half])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := half; i < n; i++ {
+			if err := inc.Insert(uint32(i), locs[i], keys[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if inc.Len() != bulk.Len() || inc.NumCells() != bulk.NumCells() {
+			t.Fatalf("trial %d: len %d/%d cells %d/%d", trial, inc.Len(), bulk.Len(), inc.NumCells(), bulk.NumCells())
+		}
+		bulk.ForEachCell(func(id CellID, want *Cell) {
+			got := inc.CellAt(id)
+			if got == nil {
+				t.Fatalf("cell %d missing after inserts", id)
+			}
+			if len(got.Members) != len(want.Members) {
+				t.Fatalf("cell %d members %d/%d", id, len(got.Members), len(want.Members))
+			}
+			for i := range want.Members {
+				if got.Members[i] != want.Members[i] {
+					t.Fatalf("cell %d member %d differs", id, i)
+				}
+			}
+			if got.PsiMin != want.PsiMin || got.PsiMax != want.PsiMax {
+				t.Fatalf("cell %d psi %d,%d want %d,%d", id, got.PsiMin, got.PsiMax, want.PsiMin, want.PsiMax)
+			}
+			if !got.Keywords.Equal(want.Keywords) {
+				t.Fatalf("cell %d keywords differ", id)
+			}
+			for kw, ps := range want.Inv {
+				gps := got.Inv[kw]
+				if len(gps) != len(ps) {
+					t.Fatalf("cell %d kw %d postings %d/%d", id, kw, len(gps), len(ps))
+				}
+			}
+		})
+	}
+}
+
+func TestInsertRejectsOutOfOrder(t *testing.T) {
+	d := vocab.NewDictionary()
+	g, err := Build(Config{CellSize: 1, Bounds: geo.R(0, 0, 2, 2)},
+		[]geo.Point{geo.Pt(0.5, 0.5)}, []vocab.Set{d.InternAll([]string{"x"})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same cell, smaller id.
+	if err := g.Insert(0, geo.Pt(0.6, 0.6), nil); err == nil {
+		t.Fatal("expected out-of-order error")
+	}
+	// New cell: any id is fine as long as the cell tail stays increasing.
+	if err := g.Insert(1, geo.Pt(1.5, 1.5), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertIntoEmptyCellPsiBounds(t *testing.T) {
+	d := vocab.NewDictionary()
+	g, err := Build(Config{CellSize: 1, Bounds: geo.R(0, 0, 2, 2)}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Insert(0, geo.Pt(0.5, 0.5), d.InternAll([]string{"a", "b"})); err != nil {
+		t.Fatal(err)
+	}
+	c := g.CellAt(g.CellIndex(geo.Pt(0.5, 0.5)))
+	if c.PsiMin != 2 || c.PsiMax != 2 {
+		t.Fatalf("psi bounds = %d,%d, want 2,2", c.PsiMin, c.PsiMax)
+	}
+}

@@ -1,0 +1,192 @@
+package lcmsr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/network"
+	"repro/internal/poi"
+)
+
+// lattice builds an n×n unit lattice.
+func lattice(t *testing.T, n int) *network.Network {
+	t.Helper()
+	b := network.NewBuilder()
+	for i := 0; i < n; i++ {
+		pts := make([]geo.Point, n)
+		for j := 0; j < n; j++ {
+			pts[j] = geo.Pt(float64(j), float64(i))
+		}
+		b.AddStreet("h", pts)
+	}
+	for j := 0; j < n; j++ {
+		pts := make([]geo.Point, n)
+		for i := 0; i < n; i++ {
+			pts[i] = geo.Pt(float64(j), float64(i))
+		}
+		b.AddStreet("v", pts)
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// vertexAt finds the lattice vertex with the given coordinates.
+func vertexAt(t *testing.T, net *network.Network, x, y float64) network.VertexID {
+	t.Helper()
+	for v := 0; v < net.NumVertices(); v++ {
+		if net.Vertex(network.VertexID(v)) == geo.Pt(x, y) {
+			return network.VertexID(v)
+		}
+	}
+	t.Fatalf("no vertex at (%v,%v)", x, y)
+	return 0
+}
+
+func TestQueryPicksDenseCluster(t *testing.T) {
+	net := lattice(t, 5)
+	scores := make([]float64, net.NumVertices())
+	// Dense cluster around (1,1): scores 5 on four adjacent vertices.
+	for _, c := range [][2]float64{{1, 1}, {2, 1}, {1, 2}, {2, 2}} {
+		scores[vertexAt(t, net, c[0], c[1])] = 5
+	}
+	// A lone far vertex with a bigger single score.
+	scores[vertexAt(t, net, 4, 4)] = 7
+	r, err := Query(net, scores, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score != 20 {
+		t.Fatalf("score = %v, want the 4-vertex cluster (20)", r.Score)
+	}
+	if r.Length > 4 {
+		t.Fatalf("budget exceeded: %v", r.Length)
+	}
+	if !r.Connected(net) {
+		t.Fatal("region not connected")
+	}
+}
+
+func TestQueryBudgetBinding(t *testing.T) {
+	net := lattice(t, 4)
+	scores := make([]float64, net.NumVertices())
+	for v := range scores {
+		scores[v] = 1 // uniform
+	}
+	r, err := Query(net, scores, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 3 on unit edges → at most 3 edges → at most 4 vertices.
+	if len(r.Segments) > 3 {
+		t.Fatalf("segments = %d", len(r.Segments))
+	}
+	if r.Score != float64(len(r.Vertices)) {
+		t.Fatalf("score %v != covered vertices %d", r.Score, len(r.Vertices))
+	}
+	if !r.Connected(net) {
+		t.Fatal("region not connected")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	net := lattice(t, 2)
+	scores := make([]float64, net.NumVertices())
+	if _, err := Query(net, scores[:1], 1, Options{}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := Query(net, scores, 0, Options{}); err == nil {
+		t.Fatal("expected budget error")
+	}
+	if _, err := Query(net, scores, 1, Options{}); err == nil {
+		t.Fatal("expected no-score error")
+	}
+}
+
+func TestQueryZeroBudgetEdgeCase(t *testing.T) {
+	net := lattice(t, 3)
+	scores := make([]float64, net.NumVertices())
+	scores[0] = 3
+	// Tiny budget: the region is just the best vertex.
+	r, err := Query(net, scores, 1e-9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Segments) != 0 || r.Score != 3 {
+		t.Fatalf("region = %+v", r)
+	}
+}
+
+// Property: the region always respects the budget, stays connected, and
+// its score equals the sum over its vertices.
+func TestQueryInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 30; trial++ {
+		net := lattice(t, rng.Intn(5)+3)
+		scores := make([]float64, net.NumVertices())
+		for v := range scores {
+			if rng.Float64() < 0.4 {
+				scores[v] = rng.Float64() * 10
+			}
+		}
+		hasScore := false
+		for _, s := range scores {
+			if s > 0 {
+				hasScore = true
+			}
+		}
+		if !hasScore {
+			continue
+		}
+		budget := rng.Float64() * 12
+		if budget <= 0 {
+			continue
+		}
+		r, err := Query(net, scores, budget, Options{Restarts: rng.Intn(5) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Length > budget+1e-9 {
+			t.Fatalf("trial %d: budget %v exceeded: %v", trial, budget, r.Length)
+		}
+		if !r.Connected(net) {
+			t.Fatalf("trial %d: disconnected region", trial)
+		}
+		var sum float64
+		for _, v := range r.Vertices {
+			sum += scores[v]
+		}
+		if math.Abs(sum-r.Score) > 1e-9 {
+			t.Fatalf("trial %d: score %v != vertex sum %v", trial, r.Score, sum)
+		}
+	}
+}
+
+func TestVertexScores(t *testing.T) {
+	b := network.NewBuilder()
+	b.AddStreet("s", []geo.Point{geo.Pt(0, 0), geo.Pt(2, 0)})
+	net, _ := b.Build()
+	pb := poi.NewBuilder(nil)
+	pb.Add(geo.Pt(0.2, 0.1), []string{"shop"})             // snaps to vertex 0
+	pb.AddWeighted(geo.Pt(1.9, -0.1), []string{"shop"}, 2) // snaps to vertex 1
+	pb.Add(geo.Pt(1.0, 0.0), []string{"museum"})           // irrelevant
+	corpus := pb.Build()
+	query, _ := corpus.Dict().LookupAll([]string{"shop"})
+	scores := VertexScores(net, corpus, query)
+	if scores[0] != 1 || scores[1] != 2 {
+		t.Fatalf("scores = %v", scores)
+	}
+}
+
+func TestRegionStreets(t *testing.T) {
+	net := lattice(t, 3)
+	r := Region{Segments: []network.SegmentID{0, 1}}
+	sts := r.Streets(net)
+	if len(sts) != 1 {
+		t.Fatalf("streets = %v (segments 0,1 are on the same street)", sts)
+	}
+}

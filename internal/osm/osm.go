@@ -1,0 +1,269 @@
+// Package osm imports road networks from OpenStreetMap XML extracts —
+// the source the paper's road networks come from ("road networks from
+// OpenStreetMap"). It parses nodes and highway-tagged ways into the
+// repository's network model: each way becomes one street whose
+// consecutive node pairs become segments, named by the way's "name" tag
+// (or "way/<id>" when unnamed).
+//
+// Only the features the SOI algorithms consume are extracted; relations,
+// metadata and non-highway ways are skipped. The parser is streaming
+// (encoding/xml decoder), so city-scale extracts do not need to fit in
+// memory as a DOM.
+package osm
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/geo"
+	"repro/internal/network"
+	"repro/internal/poi"
+)
+
+// Options filter the import.
+type Options struct {
+	// Highways restricts the imported ways to these highway tag values
+	// (e.g. "primary", "residential"). Empty imports every way that has
+	// any highway tag.
+	Highways []string
+	// MinNodes drops ways with fewer referenced nodes (default 2, the
+	// minimum for one segment).
+	MinNodes int
+}
+
+// poiTagKeys are the node tag keys whose values become POI keywords —
+// the categories the paper's POI crawl drew from OSM.
+var poiTagKeys = []string{"amenity", "shop", "tourism", "leisure", "religion"}
+
+// ParseXML reads an OSM XML extract and builds the road network plus a
+// POI corpus from tagged nodes (nodes carrying an amenity/shop/tourism/
+// leisure/religion tag; the tag values become the POI keywords, plus the
+// node's name when present). Ways referencing unknown nodes are skipped
+// with a counted warning rather than failing the import (crawled
+// extracts routinely clip ways at the bounding box).
+func ParseXML(r io.Reader, opts Options) (*network.Network, *poi.Corpus, *Stats, error) {
+	minNodes := opts.MinNodes
+	if minNodes < 2 {
+		minNodes = 2
+	}
+	allowed := map[string]bool{}
+	for _, h := range opts.Highways {
+		allowed[h] = true
+	}
+
+	dec := xml.NewDecoder(r)
+	nodes := map[int64]geo.Point{}
+	type way struct {
+		id      int64
+		name    string
+		highway string
+		refs    []int64
+	}
+	var ways []way
+	stats := &Stats{}
+	pb := poi.NewBuilder(nil)
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("osm: %w", err)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch se.Name.Local {
+		case "node":
+			var id int64
+			var lat, lon float64
+			var idOK, latOK, lonOK bool
+			for _, a := range se.Attr {
+				switch a.Name.Local {
+				case "id":
+					v, err := strconv.ParseInt(a.Value, 10, 64)
+					if err != nil {
+						return nil, nil, nil, fmt.Errorf("osm: node id %q: %w", a.Value, err)
+					}
+					id, idOK = v, true
+				case "lat":
+					v, err := strconv.ParseFloat(a.Value, 64)
+					if err != nil {
+						return nil, nil, nil, fmt.Errorf("osm: node lat %q: %w", a.Value, err)
+					}
+					lat, latOK = v, true
+				case "lon":
+					v, err := strconv.ParseFloat(a.Value, 64)
+					if err != nil {
+						return nil, nil, nil, fmt.Errorf("osm: node lon %q: %w", a.Value, err)
+					}
+					lon, lonOK = v, true
+				}
+			}
+			if idOK && latOK && lonOK {
+				nodes[id] = geo.Pt(lon, lat)
+				stats.Nodes++
+			}
+			// Walk the node's children for POI tags.
+			tags := map[string]string{}
+			depth := 1
+			for depth > 0 {
+				tok, err := dec.Token()
+				if err != nil {
+					return nil, nil, nil, fmt.Errorf("osm: node %d: %w", id, err)
+				}
+				switch el := tok.(type) {
+				case xml.StartElement:
+					depth++
+					if el.Name.Local == "tag" {
+						var k, v string
+						for _, a := range el.Attr {
+							switch a.Name.Local {
+							case "k":
+								k = a.Value
+							case "v":
+								v = a.Value
+							}
+						}
+						tags[k] = v
+					}
+				case xml.EndElement:
+					depth--
+				}
+			}
+			if idOK && latOK && lonOK {
+				var kws []string
+				for _, key := range poiTagKeys {
+					if v, ok := tags[key]; ok && v != "" {
+						kws = append(kws, v)
+					}
+				}
+				if len(kws) > 0 {
+					if name, ok := tags["name"]; ok && name != "" {
+						kws = append(kws, name)
+					}
+					pb.Add(geo.Pt(lon, lat), kws)
+					stats.POIs++
+				}
+			}
+		case "way":
+			w := way{}
+			for _, a := range se.Attr {
+				if a.Name.Local == "id" {
+					v, err := strconv.ParseInt(a.Value, 10, 64)
+					if err != nil {
+						return nil, nil, nil, fmt.Errorf("osm: way id %q: %w", a.Value, err)
+					}
+					w.id = v
+				}
+			}
+			// Walk the way's children: nd refs and tags.
+			depth := 1
+			for depth > 0 {
+				tok, err := dec.Token()
+				if err != nil {
+					return nil, nil, nil, fmt.Errorf("osm: way %d: %w", w.id, err)
+				}
+				switch el := tok.(type) {
+				case xml.StartElement:
+					depth++
+					switch el.Name.Local {
+					case "nd":
+						for _, a := range el.Attr {
+							if a.Name.Local == "ref" {
+								v, err := strconv.ParseInt(a.Value, 10, 64)
+								if err != nil {
+									return nil, nil, nil, fmt.Errorf("osm: way %d nd ref %q: %w", w.id, a.Value, err)
+								}
+								w.refs = append(w.refs, v)
+							}
+						}
+					case "tag":
+						var k, v string
+						for _, a := range el.Attr {
+							switch a.Name.Local {
+							case "k":
+								k = a.Value
+							case "v":
+								v = a.Value
+							}
+						}
+						switch k {
+						case "highway":
+							w.highway = v
+						case "name":
+							w.name = v
+						}
+					}
+				case xml.EndElement:
+					depth--
+				}
+			}
+			stats.Ways++
+			if w.highway == "" {
+				stats.SkippedNonHighway++
+				continue
+			}
+			if len(allowed) > 0 && !allowed[w.highway] {
+				stats.SkippedFiltered++
+				continue
+			}
+			ways = append(ways, w)
+		}
+	}
+
+	b := network.NewBuilder()
+	for _, w := range ways {
+		pts := make([]geo.Point, 0, len(w.refs))
+		missing := false
+		for _, ref := range w.refs {
+			p, ok := nodes[ref]
+			if !ok {
+				missing = true
+				break
+			}
+			pts = append(pts, p)
+		}
+		if missing {
+			stats.SkippedDangling++
+			continue
+		}
+		if len(pts) < minNodes {
+			stats.SkippedShort++
+			continue
+		}
+		name := w.name
+		if name == "" {
+			name = fmt.Sprintf("way/%d", w.id)
+		}
+		b.AddStreet(name, pts)
+		stats.Streets++
+	}
+	net, err := b.Build()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("osm: building network: %w", err)
+	}
+	return net, pb.Build(), stats, nil
+}
+
+// Stats summarizes an import.
+type Stats struct {
+	Nodes             int
+	POIs              int
+	Ways              int
+	Streets           int
+	SkippedNonHighway int
+	SkippedFiltered   int
+	SkippedDangling   int
+	SkippedShort      int
+}
+
+// String implements fmt.Stringer.
+func (s *Stats) String() string {
+	return fmt.Sprintf("osm: %d nodes (%d POIs), %d ways -> %d streets (skipped: %d non-highway, %d filtered, %d dangling, %d short)",
+		s.Nodes, s.POIs, s.Ways, s.Streets, s.SkippedNonHighway, s.SkippedFiltered, s.SkippedDangling, s.SkippedShort)
+}

@@ -1,0 +1,201 @@
+package osm
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataio"
+)
+
+const sample = `<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="test">
+  <bounds minlat="51.5" minlon="-0.15" maxlat="51.52" maxlon="-0.13"/>
+  <node id="1" lat="51.5150" lon="-0.1420"/>
+  <node id="2" lat="51.5151" lon="-0.1410"/>
+  <node id="3" lat="51.5152" lon="-0.1400"/>
+  <node id="4" lat="51.5140" lon="-0.1405"/>
+  <node id="5" lat="51.5160" lon="-0.1405">
+    <tag k="amenity" v="cafe"/>
+  </node>
+  <way id="100">
+    <nd ref="1"/>
+    <nd ref="2"/>
+    <nd ref="3"/>
+    <tag k="highway" v="primary"/>
+    <tag k="name" v="Oxford Street"/>
+  </way>
+  <way id="101">
+    <nd ref="2"/>
+    <nd ref="4"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <way id="102">
+    <nd ref="3"/>
+    <nd ref="5"/>
+    <tag k="building" v="yes"/>
+  </way>
+  <way id="103">
+    <nd ref="1"/>
+    <nd ref="999"/>
+    <tag k="highway" v="primary"/>
+  </way>
+  <way id="104">
+    <nd ref="4"/>
+    <tag k="highway" v="footway"/>
+  </way>
+  <relation id="200">
+    <member type="way" ref="100" role="outer"/>
+  </relation>
+</osm>`
+
+func TestParseXMLBasic(t *testing.T) {
+	net, pois, stats, err := ParseXML(strings.NewReader(sample), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != 5 || stats.Ways != 5 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// way 100 (named), way 101 (unnamed highway) imported; 102 is a
+	// building, 103 dangles, 104 has one node.
+	if net.NumStreets() != 2 {
+		t.Fatalf("streets = %d", net.NumStreets())
+	}
+	if stats.SkippedNonHighway != 1 || stats.SkippedDangling != 1 || stats.SkippedShort != 1 {
+		t.Fatalf("skip counters = %+v", stats)
+	}
+	ox := net.StreetByName("Oxford Street")
+	if ox == nil {
+		t.Fatal("Oxford Street missing")
+	}
+	if len(ox.Segments) != 2 {
+		t.Fatalf("Oxford Street segments = %d", len(ox.Segments))
+	}
+	// Coordinates are (lon, lat).
+	if got := net.Segment(ox.Segments[0]).Geom.A; math.Abs(got.X-(-0.1420)) > 1e-12 || math.Abs(got.Y-51.5150) > 1e-12 {
+		t.Fatalf("first vertex = %v", got)
+	}
+	if net.StreetByName("way/101") == nil {
+		t.Fatal("unnamed way did not get a synthetic name")
+	}
+	if stats.String() == "" {
+		t.Fatal("empty stats string")
+	}
+	// Node 5 carries an amenity tag and becomes a POI.
+	if stats.POIs != 1 || pois.Len() != 1 {
+		t.Fatalf("POIs = %d / %d", stats.POIs, pois.Len())
+	}
+	q, _ := pois.Dict().LookupAll([]string{"cafe"})
+	if pois.CountRelevant(q) != 1 {
+		t.Fatal("cafe POI keyword missing")
+	}
+}
+
+func TestParseXMLHighwayFilter(t *testing.T) {
+	net, _, stats, err := ParseXML(strings.NewReader(sample), Options{Highways: []string{"primary"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumStreets() != 1 {
+		t.Fatalf("streets = %d", net.NumStreets())
+	}
+	// Both the residential way and the footway are filtered out.
+	if stats.SkippedFiltered != 2 {
+		t.Fatalf("filtered = %d", stats.SkippedFiltered)
+	}
+}
+
+func TestParseXMLMinNodes(t *testing.T) {
+	net, _, _, err := ParseXML(strings.NewReader(sample), Options{MinNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the 3-node Oxford Street survives.
+	if net.NumStreets() != 1 || net.StreetByName("Oxford Street") == nil {
+		t.Fatalf("streets = %d", net.NumStreets())
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		xml  string
+	}{
+		{"truncated", `<osm><way id="1"><nd ref="1"/>`},
+		{"bad node id", `<osm><node id="zz" lat="1" lon="2"/></osm>`},
+		{"bad lat", `<osm><node id="1" lat="north" lon="2"/></osm>`},
+		{"bad way id", `<osm><way id="abc"></way></osm>`},
+		{"bad nd ref", `<osm><way id="1"><nd ref="x"/></way></osm>`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, _, err := ParseXML(strings.NewReader(tc.xml), Options{}); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestParseXMLEmpty(t *testing.T) {
+	net, _, stats, err := ParseXML(strings.NewReader(`<osm/>`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumStreets() != 0 || stats.Nodes != 0 {
+		t.Fatalf("net=%d stats=%+v", net.NumStreets(), stats)
+	}
+}
+
+func TestParseXMLIncompleteNodeIgnored(t *testing.T) {
+	// A node missing lat is not indexed; the way referencing it dangles.
+	src := `<osm>
+	  <node id="1" lon="2"/>
+	  <node id="2" lat="1" lon="2"/>
+	  <way id="9"><nd ref="1"/><nd ref="2"/><tag k="highway" v="primary"/></way>
+	</osm>`
+	net, _, stats, err := ParseXML(strings.NewReader(src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumStreets() != 0 || stats.SkippedDangling != 1 {
+		t.Fatalf("net=%d stats=%+v", net.NumStreets(), stats)
+	}
+}
+
+// The imported network and POIs must survive the CSV round trip and be
+// queryable end-to-end (the soiosm → soiquery pipeline).
+func TestOSMToCSVToQuery(t *testing.T) {
+	net, pois, _, err := ParseXML(strings.NewReader(sample), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nb, pb bytes.Buffer
+	if err := dataio.WriteNetwork(&nb, net); err != nil {
+		t.Fatal(err)
+	}
+	if err := dataio.WritePOIs(&pb, pois); err != nil {
+		t.Fatal(err)
+	}
+	net2, err := dataio.ReadNetwork(&nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pois2, err := dataio.ReadPOIs(&pb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.NewIndex(net2, pois2, core.IndexConfig{CellSize: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := ix.SOI(core.Query{Keywords: []string{"cafe"}, K: 3, Epsilon: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no street found for the cafe POI")
+	}
+}

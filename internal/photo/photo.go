@@ -1,0 +1,85 @@
+// Package photo models the geo-tagged photo data source R of the paper:
+// each photo is a tuple r = ⟨(x, y), Ψr⟩ of a location and a tag set
+// (Section 4.1.1).
+package photo
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/vocab"
+)
+
+// ID identifies a photo within a Corpus; ids are dense and start at 0.
+type ID = uint32
+
+// Photo is a geo-tagged photo.
+type Photo struct {
+	ID   ID
+	Loc  geo.Point
+	Tags vocab.Set
+}
+
+// Corpus is an immutable collection of photos sharing one dictionary.
+type Corpus struct {
+	photos []Photo
+	dict   *vocab.Dictionary
+}
+
+// NewCorpus wraps photos and their dictionary into a corpus, verifying
+// dense ids.
+func NewCorpus(photos []Photo, dict *vocab.Dictionary) (*Corpus, error) {
+	for i := range photos {
+		if photos[i].ID != ID(i) {
+			return nil, fmt.Errorf("photo: id %d at index %d; ids must be dense", photos[i].ID, i)
+		}
+	}
+	return &Corpus{photos: photos, dict: dict}, nil
+}
+
+// Len returns the number of photos.
+func (c *Corpus) Len() int { return len(c.photos) }
+
+// Get returns the photo with the given id.
+func (c *Corpus) Get(id ID) *Photo { return &c.photos[id] }
+
+// All returns the underlying slice; callers must not modify it.
+func (c *Corpus) All() []Photo { return c.photos }
+
+// Dict returns the tag dictionary shared by the corpus.
+func (c *Corpus) Dict() *vocab.Dictionary { return c.dict }
+
+// Builder accumulates photos with auto-assigned dense ids.
+type Builder struct {
+	photos []Photo
+	dict   *vocab.Dictionary
+}
+
+// NewBuilder returns a builder using the given dictionary (a fresh one
+// when nil).
+func NewBuilder(dict *vocab.Dictionary) *Builder {
+	if dict == nil {
+		dict = vocab.NewDictionary()
+	}
+	return &Builder{dict: dict}
+}
+
+// Add appends a photo with the given location and tag strings, returning
+// its id.
+func (b *Builder) Add(loc geo.Point, tags []string) ID {
+	id := ID(len(b.photos))
+	b.photos = append(b.photos, Photo{ID: id, Loc: loc, Tags: b.dict.InternAll(tags)})
+	return id
+}
+
+// AddSet appends a photo whose tags are already interned ids.
+func (b *Builder) AddSet(loc geo.Point, tags vocab.Set) ID {
+	id := ID(len(b.photos))
+	b.photos = append(b.photos, Photo{ID: id, Loc: loc, Tags: tags})
+	return id
+}
+
+// Build finalizes the corpus.
+func (b *Builder) Build() *Corpus {
+	return &Corpus{photos: b.photos, dict: b.dict}
+}

@@ -1,0 +1,325 @@
+package route
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/network"
+)
+
+// gridNetwork builds an n×n lattice of unit-length streets: horizontal
+// streets "h<i>" and vertical streets "v<j>", all intersecting.
+func gridNetwork(t *testing.T, n int) *network.Network {
+	t.Helper()
+	b := network.NewBuilder()
+	for i := 0; i < n; i++ {
+		pts := make([]geo.Point, n)
+		for j := 0; j < n; j++ {
+			pts[j] = geo.Pt(float64(j), float64(i))
+		}
+		b.AddStreet("h", pts)
+	}
+	for j := 0; j < n; j++ {
+		pts := make([]geo.Point, n)
+		for i := 0; i < n; i++ {
+			pts[i] = geo.Pt(float64(j), float64(i))
+		}
+		b.AddStreet("v", pts)
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestShortestPathStraightLine(t *testing.T) {
+	b := network.NewBuilder()
+	b.AddStreet("line", []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0), geo.Pt(2, 0), geo.Pt(3, 0)})
+	net, _ := b.Build()
+	g := NewGraph(net)
+	p, err := g.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Length-3) > 1e-12 {
+		t.Fatalf("Length = %v", p.Length)
+	}
+	if len(p.Vertices) != 4 || len(p.Segments) != 3 {
+		t.Fatalf("path = %+v", p)
+	}
+	if p.Vertices[0] != 0 || p.Vertices[3] != 3 {
+		t.Fatalf("endpoints = %v", p.Vertices)
+	}
+}
+
+func TestShortestPathSameVertex(t *testing.T) {
+	net := gridNetwork(t, 3)
+	g := NewGraph(net)
+	p, err := g.ShortestPath(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Length != 0 || len(p.Segments) != 0 {
+		t.Fatalf("self path = %+v", p)
+	}
+}
+
+func TestShortestPathGrid(t *testing.T) {
+	net := gridNetwork(t, 4)
+	g := NewGraph(net)
+	// Opposite corners of a 4x4 lattice: Manhattan distance 6.
+	var src, dst network.VertexID
+	found := 0
+	for v := 0; v < net.NumVertices(); v++ {
+		switch net.Vertex(network.VertexID(v)) {
+		case geo.Pt(0, 0):
+			src = network.VertexID(v)
+			found++
+		case geo.Pt(3, 3):
+			dst = network.VertexID(v)
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatal("corner vertices not found")
+	}
+	p, err := g.ShortestPath(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Length-6) > 1e-12 {
+		t.Fatalf("Length = %v, want 6", p.Length)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	b := network.NewBuilder()
+	b.AddStreet("a", []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)})
+	b.AddStreet("b", []geo.Point{geo.Pt(10, 10), geo.Pt(11, 10)})
+	net, _ := b.Build()
+	g := NewGraph(net)
+	if _, err := g.ShortestPath(0, 2); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestShortestPathOutOfRange(t *testing.T) {
+	net := gridNetwork(t, 2)
+	g := NewGraph(net)
+	if _, err := g.ShortestPath(0, 9999); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Property: Dijkstra distances satisfy the triangle inequality over
+// random vertex triples and agree with path reconstruction.
+func TestDijkstraProperties(t *testing.T) {
+	net := gridNetwork(t, 6)
+	g := NewGraph(net)
+	rng := rand.New(rand.NewSource(71))
+	n := net.NumVertices()
+	for trial := 0; trial < 50; trial++ {
+		a := network.VertexID(rng.Intn(n))
+		b := network.VertexID(rng.Intn(n))
+		c := network.VertexID(rng.Intn(n))
+		da := g.ShortestDistances(a)
+		db := g.ShortestDistances(b)
+		if da[c] > da[b]+db[c]+1e-9 {
+			t.Fatalf("triangle inequality violated: d(%d,%d)=%v > %v+%v", a, c, da[c], da[b], db[c])
+		}
+		p, err := g.ShortestPath(a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Length-da[c]) > 1e-9 {
+			t.Fatalf("reconstructed length %v != distance %v", p.Length, da[c])
+		}
+		// The path's segment lengths sum to its length.
+		var sum float64
+		for _, sid := range p.Segments {
+			sum += net.Segment(sid).Length()
+		}
+		if math.Abs(sum-p.Length) > 1e-9 {
+			t.Fatalf("segment sum %v != length %v", sum, p.Length)
+		}
+		// Consecutive vertices are joined by the listed segments.
+		for i, sid := range p.Segments {
+			seg := net.Segment(sid)
+			u, v := p.Vertices[i], p.Vertices[i+1]
+			if !(seg.From == u && seg.To == v) && !(seg.From == v && seg.To == u) {
+				t.Fatalf("segment %d does not join vertices %d-%d", sid, u, v)
+			}
+		}
+	}
+}
+
+func TestRecommendBasic(t *testing.T) {
+	net := gridNetwork(t, 5)
+	g := NewGraph(net)
+	cands := []Candidate{
+		{Street: 0, Interest: 10}, // h0
+		{Street: 1, Interest: 30}, // h1 — best, tour starts here
+		{Street: 5, Interest: 20}, // v0
+	}
+	tour, err := Recommend(g, cands, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tour.Stops) != 3 {
+		t.Fatalf("stops = %d, want all 3 within the generous budget", len(tour.Stops))
+	}
+	if tour.Stops[0].Street != 1 {
+		t.Fatalf("tour starts at street %d, want the most interesting (1)", tour.Stops[0].Street)
+	}
+	if tour.Interest != 60 {
+		t.Fatalf("Interest = %v", tour.Interest)
+	}
+	if tour.Length <= 0 {
+		t.Fatalf("Length = %v", tour.Length)
+	}
+	// The first stop has no approach path; later stops reconstruct one.
+	if len(tour.Stops[0].Approach.Segments) != 0 {
+		t.Fatal("first stop should have no approach")
+	}
+}
+
+func TestRecommendBudget(t *testing.T) {
+	net := gridNetwork(t, 5)
+	g := NewGraph(net)
+	cands := []Candidate{
+		{Street: 0, Interest: 10},
+		{Street: 1, Interest: 30},
+		{Street: 5, Interest: 20},
+	}
+	// Budget fits only the starting street (length 4).
+	tour, err := Recommend(g, cands, 4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tour.Stops) != 1 {
+		t.Fatalf("stops = %d, want 1 under a tight budget", len(tour.Stops))
+	}
+	// Budget accounting: tour length never exceeds the budget when more
+	// than the first street is added.
+	tour2, err := Recommend(g, cands, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tour2.Stops) > 1 && tour2.Length > 15 {
+		t.Fatalf("tour length %v exceeds budget", tour2.Length)
+	}
+}
+
+func TestRecommendErrors(t *testing.T) {
+	net := gridNetwork(t, 3)
+	g := NewGraph(net)
+	if _, err := Recommend(g, nil, 10); err == nil {
+		t.Fatal("expected error for no candidates")
+	}
+	if _, err := Recommend(g, []Candidate{{Street: 0, Interest: 1}}, 0); err == nil {
+		t.Fatal("expected error for zero budget")
+	}
+}
+
+func TestRecommendSkipsUnreachable(t *testing.T) {
+	b := network.NewBuilder()
+	b.AddStreet("a", []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)})
+	b.AddStreet("island", []geo.Point{geo.Pt(10, 10), geo.Pt(11, 10)})
+	net, _ := b.Build()
+	g := NewGraph(net)
+	tour, err := Recommend(g, []Candidate{
+		{Street: 0, Interest: 5},
+		{Street: 1, Interest: 1},
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tour.Stops) != 1 || tour.Stops[0].Street != 0 {
+		t.Fatalf("tour = %+v, want only the reachable street", tour)
+	}
+}
+
+// Property: the tour's recomputed length from its parts matches the
+// reported total.
+func TestRecommendLengthAccounting(t *testing.T) {
+	net := gridNetwork(t, 6)
+	g := NewGraph(net)
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 25; trial++ {
+		var cands []Candidate
+		for i := 0; i < 5; i++ {
+			cands = append(cands, Candidate{
+				Street:   network.StreetID(rng.Intn(net.NumStreets())),
+				Interest: rng.Float64() * 100,
+			})
+		}
+		tour, err := Recommend(g, cands, 10+rng.Float64()*40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, s := range tour.Stops {
+			sum += s.Approach.Length + net.Street(s.Street).Length()
+		}
+		if math.Abs(sum-tour.Length) > 1e-9 {
+			t.Fatalf("length accounting: parts %v != total %v", sum, tour.Length)
+		}
+	}
+}
+
+func TestNewGraphConnected(t *testing.T) {
+	// Two crossing streets that share no vertex.
+	b := network.NewBuilder()
+	b.AddStreet("h", []geo.Point{geo.Pt(0, 0.5), geo.Pt(1, 0.5)})
+	b.AddStreet("v", []geo.Point{geo.Pt(0.5, 0), geo.Pt(0.5, 1)})
+	net, _ := b.Build()
+
+	// Without connectors the streets are disconnected.
+	plain := NewGraph(net)
+	if _, err := plain.ShortestPath(0, 2); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("plain graph err = %v, want unreachable", err)
+	}
+	// With a snap radius covering the endpoint gap they connect.
+	g := NewGraphConnected(net, 0.8)
+	p, err := g.ShortestPath(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Length <= 0 {
+		t.Fatalf("connected path length = %v", p.Length)
+	}
+	// Connector hops do not appear in the segment list.
+	for _, sid := range p.Segments {
+		if int(sid) >= net.NumSegments() {
+			t.Fatalf("connector leaked into Segments: %d", sid)
+		}
+	}
+	// Zero snap is a no-op.
+	if g0 := NewGraphConnected(net, 0); len(g0.adj[0]) != len(plain.adj[0]) {
+		t.Fatal("snap=0 added edges")
+	}
+}
+
+// Property: connector edges never shorten paths below the straight-line
+// distance between the endpoints.
+func TestConnectedPathsLowerBound(t *testing.T) {
+	net := gridNetwork(t, 5)
+	g := NewGraphConnected(net, 1.2)
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 50; trial++ {
+		a := network.VertexID(rng.Intn(net.NumVertices()))
+		b := network.VertexID(rng.Intn(net.NumVertices()))
+		p, err := g.ShortestPath(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		straight := net.Vertex(a).Dist(net.Vertex(b))
+		if p.Length < straight-1e-9 {
+			t.Fatalf("path %v shorter than straight line %v", p.Length, straight)
+		}
+	}
+}

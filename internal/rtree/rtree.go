@@ -1,0 +1,270 @@
+// Package rtree implements a static, bulk-loaded R-tree over points using
+// Sort-Tile-Recursive (STR) packing. The paper's related work builds
+// spatio-textual indexes on R-trees (Section 2.1, e.g. the IR-tree
+// family); this package provides that classic substrate as an alternative
+// to the uniform grid for the geometric primitives the SOI algorithms
+// need: range queries around points and around street segments.
+//
+// The tree is immutable after Build and safe for concurrent queries.
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// DefaultFanout is the node capacity used when Config leaves it zero.
+const DefaultFanout = 16
+
+// Config controls tree construction.
+type Config struct {
+	// Fanout is the maximum number of children per node (and points per
+	// leaf); defaults to DefaultFanout.
+	Fanout int
+}
+
+// node is one R-tree node. Leaves hold point indices; internal nodes hold
+// child node indices. All nodes live in one slice for locality.
+type node struct {
+	box      geo.Rect
+	leaf     bool
+	children []int32 // child node indices, or point ids for leaves
+}
+
+// Tree is a static R-tree over points.
+type Tree struct {
+	pts   []geo.Point
+	nodes []node
+	root  int32
+}
+
+// Build bulk-loads the tree from the points with STR packing.
+func Build(pts []geo.Point, cfg Config) (*Tree, error) {
+	fanout := cfg.Fanout
+	if fanout == 0 {
+		fanout = DefaultFanout
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("rtree: fanout %d below 2", fanout)
+	}
+	t := &Tree{pts: pts}
+	if len(pts) == 0 {
+		t.root = -1
+		return t, nil
+	}
+
+	// Level 0: pack points into leaves with STR: sort by x, slice into
+	// vertical runs, sort each run by y, cut into leaves.
+	ids := make([]int32, len(pts))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	leaves := t.packLevel(ids, fanout, true)
+
+	// Upper levels: repeatedly pack node indices until one root remains.
+	level := leaves
+	for len(level) > 1 {
+		level = t.packLevel(level, fanout, false)
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+// packLevel groups the given items (point ids when leaf, node indices
+// otherwise) into nodes of at most fanout entries using STR tiling, and
+// returns the indices of the created nodes.
+func (t *Tree) packLevel(items []int32, fanout int, leaf bool) []int32 {
+	n := len(items)
+	nNodes := (n + fanout - 1) / fanout
+	nSlices := int(math.Ceil(math.Sqrt(float64(nNodes))))
+	sliceSize := nSlices * fanout
+
+	centerOf := func(id int32) geo.Point {
+		if leaf {
+			return t.pts[id]
+		}
+		return t.nodes[id].box.Center()
+	}
+	sort.Slice(items, func(i, j int) bool {
+		a, b := centerOf(items[i]), centerOf(items[j])
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	})
+
+	var out []int32
+	for s := 0; s < n; s += sliceSize {
+		e := s + sliceSize
+		if e > n {
+			e = n
+		}
+		run := items[s:e]
+		sort.Slice(run, func(i, j int) bool {
+			a, b := centerOf(run[i]), centerOf(run[j])
+			if a.Y != b.Y {
+				return a.Y < b.Y
+			}
+			return a.X < b.X
+		})
+		for o := 0; o < len(run); o += fanout {
+			oe := o + fanout
+			if oe > len(run) {
+				oe = len(run)
+			}
+			chunk := run[o:oe]
+			nd := node{leaf: leaf, children: append([]int32(nil), chunk...)}
+			nd.box = t.boxOf(chunk, leaf)
+			t.nodes = append(t.nodes, nd)
+			out = append(out, int32(len(t.nodes)-1))
+		}
+	}
+	return out
+}
+
+func (t *Tree) boxOf(items []int32, leaf bool) geo.Rect {
+	var box geo.Rect
+	for i, id := range items {
+		var r geo.Rect
+		if leaf {
+			p := t.pts[id]
+			r = geo.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+		} else {
+			r = t.nodes[id].box
+		}
+		if i == 0 {
+			box = r
+		} else {
+			box = box.Union(r)
+		}
+	}
+	return box
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Height returns the number of levels (0 for an empty tree).
+func (t *Tree) Height() int {
+	if t.root < 0 {
+		return 0
+	}
+	h := 1
+	n := &t.nodes[t.root]
+	for !n.leaf {
+		h++
+		n = &t.nodes[n.children[0]]
+	}
+	return h
+}
+
+// WithinPoint appends to dst the ids of all points within eps of q and
+// returns the extended slice.
+func (t *Tree) WithinPoint(dst []uint32, q geo.Point, eps float64) []uint32 {
+	if t.root < 0 {
+		return dst
+	}
+	epsSq := eps * eps
+	var stack []int32
+	stack = append(stack, t.root)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &t.nodes[ni]
+		if nd.box.MinDistToPoint(q) > eps {
+			continue
+		}
+		if nd.leaf {
+			for _, id := range nd.children {
+				if t.pts[id].DistSq(q) <= epsSq {
+					dst = append(dst, uint32(id))
+				}
+			}
+			continue
+		}
+		stack = append(stack, nd.children...)
+	}
+	return dst
+}
+
+// WithinSegment appends to dst the ids of all points within eps of the
+// segment and returns the extended slice. This is the geometric predicate
+// of the paper's Definition 1 (POIs within ε of a street segment).
+func (t *Tree) WithinSegment(dst []uint32, seg geo.Segment, eps float64) []uint32 {
+	if t.root < 0 {
+		return dst
+	}
+	epsSq := eps * eps
+	var stack []int32
+	stack = append(stack, t.root)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &t.nodes[ni]
+		if nd.box.DistToSegment(seg) > eps {
+			continue
+		}
+		if nd.leaf {
+			for _, id := range nd.children {
+				if seg.DistToPointSq(t.pts[id]) <= epsSq {
+					dst = append(dst, uint32(id))
+				}
+			}
+			continue
+		}
+		stack = append(stack, nd.children...)
+	}
+	return dst
+}
+
+// validate checks the structural invariants; used by tests. It returns
+// the number of points reachable from the root.
+func (t *Tree) validate() (int, error) {
+	if t.root < 0 {
+		if len(t.pts) != 0 {
+			return 0, fmt.Errorf("rtree: %d points but no root", len(t.pts))
+		}
+		return 0, nil
+	}
+	seen := make(map[int32]bool)
+	var walk func(ni int32) (int, error)
+	walk = func(ni int32) (int, error) {
+		nd := &t.nodes[ni]
+		if len(nd.children) == 0 {
+			return 0, fmt.Errorf("rtree: empty node %d", ni)
+		}
+		if nd.leaf {
+			total := 0
+			for _, id := range nd.children {
+				if seen[id] {
+					return 0, fmt.Errorf("rtree: point %d in two leaves", id)
+				}
+				seen[id] = true
+				p := t.pts[id]
+				if !nd.box.Contains(p) {
+					return 0, fmt.Errorf("rtree: point %d outside its leaf box", id)
+				}
+				total++
+			}
+			return total, nil
+		}
+		total := 0
+		for _, ci := range nd.children {
+			child := &t.nodes[ci]
+			u := nd.box.Union(child.box)
+			if u != nd.box {
+				return 0, fmt.Errorf("rtree: child box escapes parent at node %d", ni)
+			}
+			sub, err := walk(ci)
+			if err != nil {
+				return 0, err
+			}
+			total += sub
+		}
+		return total, nil
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,230 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+)
+
+func randomPoints(rng *rand.Rand, n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	return pts
+}
+
+func TestBuildEmpty(t *testing.T) {
+	tr, err := Build(nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatalf("empty tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.WithinPoint(nil, geo.Pt(0, 0), 1); len(got) != 0 {
+		t.Fatalf("query on empty tree = %v", got)
+	}
+	if got := tr.WithinSegment(nil, geo.Segment{A: geo.Pt(0, 0), B: geo.Pt(1, 1)}, 1); len(got) != 0 {
+		t.Fatalf("segment query on empty tree = %v", got)
+	}
+}
+
+func TestBuildBadFanout(t *testing.T) {
+	if _, err := Build(randomPoints(rand.New(rand.NewSource(1)), 5), Config{Fanout: 1}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBuildSinglePoint(t *testing.T) {
+	tr, err := Build([]geo.Point{geo.Pt(3, 4)}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("height = %d", tr.Height())
+	}
+	if got := tr.WithinPoint(nil, geo.Pt(0, 0), 5); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := tr.WithinPoint(nil, geo.Pt(0, 0), 4.9); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestStructureInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, n := range []int{1, 2, 15, 16, 17, 100, 1000, 5000} {
+		for _, fanout := range []int{2, 4, 16, 64} {
+			tr, err := Build(randomPoints(rng, n), Config{Fanout: fanout})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total, err := tr.validate()
+			if err != nil {
+				t.Fatalf("n=%d fanout=%d: %v", n, fanout, err)
+			}
+			if total != n {
+				t.Fatalf("n=%d fanout=%d: %d points reachable", n, fanout, total)
+			}
+		}
+	}
+}
+
+func sortedIDs(ids []uint32) []uint32 {
+	out := append([]uint32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Property: range queries agree exactly with brute force.
+func TestWithinPointBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 30; trial++ {
+		pts := randomPoints(rng, rng.Intn(800)+1)
+		tr, err := Build(pts, Config{Fanout: rng.Intn(30) + 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 20; probe++ {
+			q := geo.Pt(rng.Float64()*12-1, rng.Float64()*12-1)
+			eps := rng.Float64() * 3
+			got := sortedIDs(tr.WithinPoint(nil, q, eps))
+			var want []uint32
+			for i, p := range pts {
+				if p.Dist(q) <= eps {
+					want = append(want, uint32(i))
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d hits, want %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: ids differ at %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestWithinSegmentBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 30; trial++ {
+		pts := randomPoints(rng, rng.Intn(800)+1)
+		tr, err := Build(pts, Config{Fanout: rng.Intn(30) + 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 10; probe++ {
+			seg := geo.Segment{
+				A: geo.Pt(rng.Float64()*10, rng.Float64()*10),
+				B: geo.Pt(rng.Float64()*10, rng.Float64()*10),
+			}
+			eps := rng.Float64() * 2
+			got := sortedIDs(tr.WithinSegment(nil, seg, eps))
+			var want []uint32
+			for i, p := range pts {
+				if seg.DistToPoint(p) <= eps {
+					want = append(want, uint32(i))
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d hits, want %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: ids differ at %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// Reusing the dst slice must append, not clobber.
+func TestDstAppend(t *testing.T) {
+	tr, err := Build([]geo.Point{geo.Pt(0, 0), geo.Pt(5, 5)}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := []uint32{99}
+	dst = tr.WithinPoint(dst, geo.Pt(0, 0), 1)
+	if len(dst) != 2 || dst[0] != 99 {
+		t.Fatalf("dst = %v", dst)
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	tr, err := Build(randomPoints(rng, 10000), Config{Fanout: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10^4 points at fanout 10 → height ~4-5 (STR may add one level).
+	if h := tr.Height(); h < 4 || h > 6 {
+		t.Fatalf("height = %d", h)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := make([]geo.Point, 50)
+	for i := range pts {
+		pts[i] = geo.Pt(1, 1) // all identical
+	}
+	tr, err := Build(pts, Config{Fanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.WithinPoint(nil, geo.Pt(1, 1), 0); len(got) != 50 {
+		t.Fatalf("got %d hits, want all 50", len(got))
+	}
+	if _, err := tr.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The R-tree and the grid must agree on the ε-near point sets around
+// segments (the geometric predicate both spatial substrates serve).
+func TestAgreesWithGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 15; trial++ {
+		pts := randomPoints(rng, rng.Intn(500)+20)
+		tr, err := Build(pts, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := grid.Build(grid.Config{CellSize: 0.3 + rng.Float64()}, pts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 10; probe++ {
+			seg := geo.Segment{
+				A: geo.Pt(rng.Float64()*10, rng.Float64()*10),
+				B: geo.Pt(rng.Float64()*10, rng.Float64()*10),
+			}
+			eps := rng.Float64() * 1.5
+			fromTree := sortedIDs(tr.WithinSegment(nil, seg, eps))
+			var fromGrid []uint32
+			epsSq := eps * eps
+			for _, cid := range g.CellsNearSegment(seg, eps) {
+				for _, m := range g.CellAt(cid).Members {
+					if seg.DistToPointSq(pts[m]) <= epsSq {
+						fromGrid = append(fromGrid, m)
+					}
+				}
+			}
+			fromGrid = sortedIDs(fromGrid)
+			if len(fromTree) != len(fromGrid) {
+				t.Fatalf("trial %d: tree %d vs grid %d hits", trial, len(fromTree), len(fromGrid))
+			}
+			for i := range fromTree {
+				if fromTree[i] != fromGrid[i] {
+					t.Fatalf("trial %d: id mismatch at %d", trial, i)
+				}
+			}
+		}
+	}
+}

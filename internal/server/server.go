@@ -1,0 +1,230 @@
+// Package server exposes the SOI engine over HTTP for online exploration
+// — the usage mode the paper motivates ("allowing for online discovery
+// and exploration of interesting parts of the road network").
+//
+// Endpoints (all GET, all JSON):
+//
+//	/api/stats                         dataset summary
+//	/api/streets?keywords=a,b&k=10&eps=0.0005
+//	/api/describe?street=NAME&k=4&lambda=0.5&w=0.5&rho=0.0001&eps=0.0005
+//	/api/tour?keywords=a,b&k=10&eps=0.0005&budget=0.05
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	soi "repro"
+)
+
+// Server routes HTTP requests to an Engine.
+type Server struct {
+	engine *soi.Engine
+	mux    *http.ServeMux
+}
+
+// New wires the handler set around an engine.
+func New(engine *soi.Engine) *Server {
+	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/streets", s.handleStreets)
+	s.mux.HandleFunc("/api/describe", s.handleDescribe)
+	s.mux.HandleFunc("/api/tour", s.handleTour)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the uniform JSON error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header cannot be reported to the client;
+	// the payloads here are plain structs that always encode.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// queryFloat parses an optional float parameter with a default.
+func queryFloat(r *http.Request, name string, def float64) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %w", name, err)
+	}
+	return v, nil
+}
+
+// queryInt parses an optional integer parameter with a default.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %w", name, err)
+	}
+	return v, nil
+}
+
+func queryKeywords(r *http.Request) []string {
+	raw := r.URL.Query().Get("keywords")
+	if raw == "" {
+		return nil
+	}
+	parts := strings.Split(raw, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// statsResponse is the /api/stats payload.
+type statsResponse struct {
+	Streets int `json:"streets"`
+	POIs    int `json:"pois"`
+	Photos  int `json:"photos"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		Streets: s.engine.NumStreets(),
+		POIs:    s.engine.NumPOIs(),
+		Photos:  s.engine.NumPhotos(),
+	})
+}
+
+// streetsResponse is the /api/streets payload.
+type streetsResponse struct {
+	Streets []soi.Street `json:"streets"`
+}
+
+func (s *Server) handleStreets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	q, err := s.parseQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.engine.TopStreets(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if res == nil {
+		res = []soi.Street{}
+	}
+	writeJSON(w, http.StatusOK, streetsResponse{Streets: res})
+}
+
+func (s *Server) parseQuery(r *http.Request) (soi.Query, error) {
+	k, err := queryInt(r, "k", 10)
+	if err != nil {
+		return soi.Query{}, err
+	}
+	eps, err := queryFloat(r, "eps", soi.DefaultCellSize)
+	if err != nil {
+		return soi.Query{}, err
+	}
+	return soi.Query{Keywords: queryKeywords(r), K: k, Epsilon: eps}, nil
+}
+
+func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	street := r.URL.Query().Get("street")
+	if street == "" {
+		writeError(w, http.StatusBadRequest, errors.New("parameter \"street\" required"))
+		return
+	}
+	k, err := queryInt(r, "k", 4)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	lambda, err := queryFloat(r, "lambda", 0.5)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wWeight, err := queryFloat(r, "w", 0.5)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rho, err := queryFloat(r, "rho", 0.0001)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	eps, err := queryFloat(r, "eps", soi.DefaultCellSize)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sum, err := s.engine.DescribeStreet(street, soi.SummaryParams{
+		K: k, Lambda: lambda, W: wWeight, Rho: rho, Epsilon: eps,
+	})
+	switch {
+	case errors.Is(err, soi.ErrUnknownStreet), errors.Is(err, soi.ErrNoPhotos):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+func (s *Server) handleTour(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	q, err := s.parseQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	budget, err := queryFloat(r, "budget", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tour, err := s.engine.RecommendTour(q, budget)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tour)
+}

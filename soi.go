@@ -1,0 +1,353 @@
+// Package soi identifies and describes Streets of Interest, implementing
+// Skoutas, Sacharidis and Stamatoukos, "Identifying and Describing
+// Streets of Interest" (EDBT 2016).
+//
+// Given a road network, a set of keyword-tagged POIs and a set of tagged
+// photos, the package answers two queries:
+//
+//   - TopStreets ranks streets by interest: the density of query-relevant
+//     POIs within distance ε of the street's best segment (the k-SOI
+//     query, evaluated with the paper's SOI top-k algorithm).
+//   - DescribeStreet selects a small, spatio-textually relevant and
+//     diverse photo summary for a street (the SOI diversification
+//     problem, evaluated with the paper's ST_Rel+Div algorithm).
+//
+// The Engine is built from plain input values so that callers need no
+// knowledge of the internal index structures:
+//
+//	eng, err := soi.NewEngine(streets, pois, photos, soi.Config{})
+//	top, err := eng.TopStreets(soi.Query{Keywords: []string{"shop"}, K: 10, Epsilon: 0.0005})
+//	sum, err := eng.DescribeStreet(top[0].Name, soi.SummaryParams{K: 4, Epsilon: 0.0005})
+package soi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/geo"
+	"repro/internal/network"
+	"repro/internal/photo"
+	"repro/internal/poi"
+	"repro/internal/route"
+	"repro/internal/vocab"
+)
+
+// Point is a planar coordinate (longitude/latitude treated as Euclidean).
+type Point struct {
+	X, Y float64
+}
+
+// StreetInput describes one street as a named polyline; each consecutive
+// point pair becomes one street segment.
+type StreetInput struct {
+	Name     string
+	Polyline []Point
+}
+
+// POIInput is a point of interest with its keywords and an optional
+// importance weight (0 means 1).
+type POIInput struct {
+	X, Y     float64
+	Keywords []string
+	Weight   float64
+}
+
+// PhotoInput is a geo-tagged photo.
+type PhotoInput struct {
+	X, Y float64
+	Tags []string
+}
+
+// Config controls engine construction.
+type Config struct {
+	// GridCellSize is the spatial index cell side; defaults to 0.0005
+	// (≈55 m at European latitudes), the paper's ε.
+	GridCellSize float64
+}
+
+// DefaultCellSize is the grid cell side used when Config leaves it zero.
+const DefaultCellSize = 0.0005
+
+// Query is a k-SOI query ⟨Ψ, k, ε⟩.
+type Query struct {
+	// Keywords is the query keyword set Ψ.
+	Keywords []string
+	// K is the number of streets to return.
+	K int
+	// Epsilon is the distance threshold ε in coordinate units.
+	Epsilon float64
+}
+
+// Street is one ranked street of a TopStreets answer.
+type Street struct {
+	Name string
+	// Interest is the street's mass density (Definitions 1–3).
+	Interest float64
+	// Mass is the relevant-POI mass of the street's best segment.
+	Mass float64
+}
+
+// SummaryParams configures DescribeStreet.
+type SummaryParams struct {
+	// K is the number of photos to select.
+	K int
+	// Lambda trades relevance (0) against diversity (1); default 0.5.
+	Lambda float64
+	// W trades the textual (0) against the spatial (1) aspect; default 0.5.
+	W float64
+	// Rho is the spatial-relevance neighborhood radius; default 0.0001.
+	Rho float64
+	// Epsilon associates photos within this distance with the street;
+	// default 0.0005.
+	Epsilon float64
+}
+
+// withDefaults fills zero fields with the paper's default parameters.
+func (p SummaryParams) withDefaults() SummaryParams {
+	if p.Lambda == 0 {
+		p.Lambda = 0.5
+	}
+	if p.W == 0 {
+		p.W = 0.5
+	}
+	if p.Rho == 0 {
+		p.Rho = 0.0001
+	}
+	if p.Epsilon == 0 {
+		p.Epsilon = DefaultCellSize
+	}
+	return p
+}
+
+// SummaryPhoto is one selected photo of a street summary.
+type SummaryPhoto struct {
+	X, Y float64
+	Tags []string
+}
+
+// Summary is the result of DescribeStreet.
+type Summary struct {
+	Street string
+	Photos []SummaryPhoto
+	// Objective is the F score (Eq. 2) of the selected set.
+	Objective float64
+	// CandidateCount is |Rs|, the number of photos associated with the
+	// street.
+	CandidateCount int
+}
+
+// Engine evaluates k-SOI and description queries over one dataset. It is
+// safe for concurrent use after construction.
+type Engine struct {
+	net    *network.Network
+	pois   *poi.Corpus
+	photos *photo.Corpus
+	dict   *vocab.Dictionary
+	index  *core.Index
+
+	graphOnce sync.Once
+	graph     *route.Graph
+
+	photoIdxOnce sync.Once
+	photoIdx     *diversify.PhotoIndex
+	photoIdxErr  error
+}
+
+// ErrUnknownStreet is returned by DescribeStreet for a street name that
+// does not exist in the network.
+var ErrUnknownStreet = errors.New("soi: unknown street")
+
+// ErrNoPhotos is returned by DescribeStreet when the street has no
+// associated photos within ε.
+var ErrNoPhotos = diversify.ErrNoPhotos
+
+// NewEngine builds an engine from plain inputs. Streets must have at
+// least two polyline points each.
+func NewEngine(streets []StreetInput, pois []POIInput, photos []PhotoInput, cfg Config) (*Engine, error) {
+	nb := network.NewBuilder()
+	for _, s := range streets {
+		pts := make([]geo.Point, len(s.Polyline))
+		for i, p := range s.Polyline {
+			pts[i] = geo.Pt(p.X, p.Y)
+		}
+		nb.AddStreet(s.Name, pts)
+	}
+	net, err := nb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("soi: building network: %w", err)
+	}
+	dict := vocab.NewDictionary()
+	pb := poiBuilderFromInputs(pois, dict)
+	rb := photoBuilderFromInputs(photos, dict)
+	return newEngine(net, pb, rb, dict, cfg)
+}
+
+func poiBuilderFromInputs(in []POIInput, dict *vocab.Dictionary) *poi.Corpus {
+	pb := poi.NewBuilder(dict)
+	for _, p := range in {
+		pb.AddWeighted(geo.Pt(p.X, p.Y), p.Keywords, p.Weight)
+	}
+	return pb.Build()
+}
+
+func photoBuilderFromInputs(in []PhotoInput, dict *vocab.Dictionary) *photo.Corpus {
+	rb := photo.NewBuilder(dict)
+	for _, p := range in {
+		rb.Add(geo.Pt(p.X, p.Y), p.Tags)
+	}
+	return rb.Build()
+}
+
+// NewEngineFromCorpora wires an engine over already-built internal
+// corpora; it is the constructor used by the repository's tools, examples
+// and benchmarks, which generate data with internal/datagen.
+func NewEngineFromCorpora(net *network.Network, pois *poi.Corpus, photos *photo.Corpus, cfg Config) (*Engine, error) {
+	return newEngine(net, pois, photos, pois.Dict(), cfg)
+}
+
+func newEngine(net *network.Network, pois *poi.Corpus, photos *photo.Corpus, dict *vocab.Dictionary, cfg Config) (*Engine, error) {
+	cell := cfg.GridCellSize
+	if cell == 0 {
+		cell = DefaultCellSize
+	}
+	ix, err := core.NewIndex(net, pois, core.IndexConfig{CellSize: cell})
+	if err != nil {
+		return nil, fmt.Errorf("soi: building index: %w", err)
+	}
+	return &Engine{net: net, pois: pois, photos: photos, dict: dict, index: ix}, nil
+}
+
+// Warm precomputes the ε-dependent index structures so that subsequent
+// query latencies exclude one-time augmentation work.
+func (e *Engine) Warm(epsilon float64) { e.index.Warm(epsilon) }
+
+// NumStreets returns the number of streets in the network.
+func (e *Engine) NumStreets() int { return e.net.NumStreets() }
+
+// NumPOIs returns the number of indexed POIs.
+func (e *Engine) NumPOIs() int { return e.pois.Len() }
+
+// NumPhotos returns the number of indexed photos.
+func (e *Engine) NumPhotos() int { return e.photos.Len() }
+
+// TopStreets evaluates the k-SOI query with the SOI algorithm and returns
+// the ranked streets (highest interest first). Streets with zero interest
+// are omitted, so fewer than K results may return.
+func (e *Engine) TopStreets(q Query) ([]Street, error) {
+	res, _, err := e.index.SOI(core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Street, len(res))
+	for i, r := range res {
+		out[i] = Street{Name: r.Name, Interest: r.Interest, Mass: r.Mass}
+	}
+	return out, nil
+}
+
+// TourStop is one street visit of a recommended tour.
+type TourStop struct {
+	Street   string
+	Interest float64
+	// Walk is the walking distance from the previous stop (0 for the
+	// first stop).
+	Walk float64
+}
+
+// Tour is a recommended walking route over streets of interest.
+type Tour struct {
+	Stops []TourStop
+	// Length is the total walking length including the visited streets.
+	Length float64
+	// Interest is the summed interest of the visited streets.
+	Interest float64
+}
+
+// RecommendTour implements the paper's future-work extension: evaluate
+// the k-SOI query and plan a walking tour over the resulting streets
+// within the given length budget (coordinate units), greedily maximizing
+// interest per walking distance.
+func (e *Engine) RecommendTour(q Query, budget float64) (Tour, error) {
+	res, _, err := e.index.SOI(core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon})
+	if err != nil {
+		return Tour{}, err
+	}
+	if len(res) == 0 {
+		return Tour{}, errors.New("soi: no street matches the query")
+	}
+	cands := make([]route.Candidate, len(res))
+	for i, r := range res {
+		cands[i] = route.Candidate{Street: r.Street, Interest: r.Interest}
+	}
+	e.graphOnce.Do(func() {
+		// Join streets that cross without sharing a vertex (the normal
+		// case for digitized data) with pedestrian connectors sized to
+		// the network's typical segment length.
+		st := e.net.Stats()
+		snap := 0.0
+		if st.NumSegments > 0 {
+			snap = 1.5 * st.TotalLen / float64(st.NumSegments)
+		}
+		e.graph = route.NewGraphConnected(e.net, snap)
+	})
+	tour, err := route.Recommend(e.graph, cands, budget)
+	if err != nil {
+		return Tour{}, err
+	}
+	out := Tour{Length: tour.Length, Interest: tour.Interest}
+	for _, s := range tour.Stops {
+		out.Stops = append(out.Stops, TourStop{
+			Street:   s.Name,
+			Interest: s.Interest,
+			Walk:     s.Approach.Length,
+		})
+	}
+	return out, nil
+}
+
+// DescribeStreet selects a diversified photo summary for the named street
+// using the ST_Rel+Div algorithm with the paper's default parameters
+// where SummaryParams fields are zero.
+func (e *Engine) DescribeStreet(name string, p SummaryParams) (Summary, error) {
+	p = p.withDefaults()
+	st := e.net.StreetByName(name)
+	if st == nil {
+		return Summary{}, fmt.Errorf("%w: %q", ErrUnknownStreet, name)
+	}
+	e.photoIdxOnce.Do(func() {
+		e.photoIdx, e.photoIdxErr = diversify.NewPhotoIndex(e.photos, DefaultCellSize)
+	})
+	if e.photoIdxErr != nil {
+		return Summary{}, e.photoIdxErr
+	}
+	rs, maxD := e.photoIdx.StreetPhotos(e.net, st.ID, p.Epsilon)
+	if len(rs) == 0 {
+		return Summary{}, fmt.Errorf("%w: street %q", ErrNoPhotos, name)
+	}
+	freq := diversify.FreqFromPhotos(e.dict, rs)
+	ctx, err := diversify.NewContext(rs, freq, maxD, p.Rho)
+	if err != nil {
+		return Summary{}, err
+	}
+	res, err := ctx.STRelDiv(diversify.Params{K: p.K, Lambda: p.Lambda, W: p.W, Rho: p.Rho})
+	if err != nil {
+		return Summary{}, err
+	}
+	sum := Summary{
+		Street:         name,
+		Objective:      res.Objective,
+		CandidateCount: len(rs),
+	}
+	for _, i := range res.Selected {
+		ph := rs[i]
+		sum.Photos = append(sum.Photos, SummaryPhoto{
+			X:    ph.Loc.X,
+			Y:    ph.Loc.Y,
+			Tags: e.dict.Names(ph.Tags),
+		})
+	}
+	return sum, nil
+}
