@@ -27,12 +27,27 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("soibench: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment: "+strings.Join(validExps, ", "))
-		scale  = flag.Float64("scale", 1.0, "dataset volume scale factor")
-		trials = flag.Int("trials", 3, "timing repetitions per measurement (median reported)")
-		cities = flag.String("cities", "london,berlin,vienna", "comma-separated subset of cities")
+		exp      = flag.String("exp", "all", "experiment: "+strings.Join(validExps, ", "))
+		scale    = flag.Float64("scale", 1.0, "dataset volume scale factor")
+		trials   = flag.Int("trials", 3, "timing repetitions per measurement (median reported)")
+		cities   = flag.String("cities", "london,berlin,vienna", "comma-separated subset of cities")
+		parallel = flag.Int("parallel", 0, "run the parallel query throughput benchmark with N workers and exit")
+		queries  = flag.Int("queries", 150, "workload size per city for -parallel")
 	)
 	flag.Parse()
+
+	if *parallel < 0 {
+		log.Fatalf("-parallel needs a positive worker count, got %d", *parallel)
+	}
+	if *parallel > 0 {
+		if *queries <= 0 {
+			log.Fatalf("-queries needs a positive workload size, got %d", *queries)
+		}
+		if err := runParallel(*cities, *scale, *parallel, *queries); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -160,6 +175,32 @@ func main() {
 		}
 	}
 	fmt.Fprintf(out, "Done in %v.\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runParallel measures batch-executor throughput against the sequential
+// loop on the default synthetic workload, per city.
+func runParallel(cities string, scale float64, workers, queries int) error {
+	out := os.Stdout
+	start := time.Now()
+	fmt.Fprintf(out, "Loading cities (scale %g)...\n", scale)
+	citiesList, err := loadSelected(cities, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Loaded %d cities in %v.\n\n", len(citiesList), time.Since(start).Round(time.Millisecond))
+	for _, c := range citiesList {
+		res, err := experiments.ParallelBench(c, workers, queries)
+		if err != nil {
+			return err
+		}
+		experiments.PrintParallelBench(out, res)
+		fmt.Fprintln(out)
+		if !res.Identical {
+			return fmt.Errorf("parallel results diverged from sequential on %s", res.City)
+		}
+	}
+	fmt.Fprintf(out, "Done in %v.\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func loadSelected(names string, scale float64) ([]*experiments.City, error) {

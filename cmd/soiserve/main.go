@@ -35,10 +35,13 @@ func main() {
 		city    = flag.String("city", "", "generate a synthetic city: london, berlin, vienna, small")
 		scale   = flag.Float64("scale", 0.25, "volume scale for -city")
 		dataDir = flag.String("data", "", "load a CSV dataset directory instead of generating")
+		workers = flag.Int("workers", 0, "max concurrent k-SOI evaluations (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 0, "query result cache capacity (0 = default, negative disables)")
 	)
 	flag.Parse()
 
-	eng, err := buildEngine(*city, *scale, *dataDir)
+	cfg := soi.Config{Workers: *workers, CacheSize: *cache}
+	eng, err := buildEngine(*city, *scale, *dataDir, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,10 +57,10 @@ func main() {
 	log.Fatal(srv.ListenAndServe())
 }
 
-func buildEngine(city string, scale float64, dataDir string) (*soi.Engine, error) {
+func buildEngine(city string, scale float64, dataDir string, cfg soi.Config) (*soi.Engine, error) {
 	switch {
 	case dataDir != "":
-		return loadEngine(dataDir)
+		return loadEngine(dataDir, cfg)
 	case city != "":
 		var p datagen.Profile
 		switch strings.ToLower(city) {
@@ -76,18 +79,18 @@ func buildEngine(city string, scale float64, dataDir string) (*soi.Engine, error
 		if err != nil {
 			return nil, err
 		}
-		return soi.NewEngineFromCorpora(ds.Network, ds.POIs, ds.Photos, soi.Config{})
+		return soi.NewEngineFromCorpora(ds.Network, ds.POIs, ds.Photos, cfg)
 	default:
 		return nil, fmt.Errorf("provide -city or -data")
 	}
 }
 
-func loadEngine(dir string) (*soi.Engine, error) {
+func loadEngine(dir string, cfg soi.Config) (*soi.Engine, error) {
 	net, pois, photos, _, err := dataio.LoadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	return soi.NewEngineFromCorpora(net, pois, photos, soi.Config{})
+	return soi.NewEngineFromCorpora(net, pois, photos, cfg)
 }
 
 // newHandler wires the HTTP routes (internal/server).

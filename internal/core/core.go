@@ -67,6 +67,9 @@ type Stats struct {
 	SegmentAccesses int
 	// CellVisits counts UpdateInterest invocations that did work.
 	CellVisits int
+	// SegmentCacheHits counts segments whose exact mass was answered from
+	// a shared MassCache, skipping every cell visit.
+	SegmentCacheHits int
 	// SegmentsSeen counts segments that left the unseen state.
 	SegmentsSeen int
 	// SegmentsFinal counts segments whose exact interest was computed.

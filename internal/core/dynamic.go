@@ -20,8 +20,11 @@ import (
 
 // AddPOI appends a POI to the indexed corpus and updates every index
 // structure. The keyword strings are interned into the corpus dictionary.
-// AddPOI is not safe for concurrent use with queries; batch insertions
-// and re-Warm afterwards for best performance.
+// AddPOI is the one operation outside the Index read-only contract: it
+// mutates the grid, corpus and inverted index in place and must be
+// externally serialized against every concurrent reader (stop query
+// traffic, insert, then resume — or rebuild a fresh Index and swap it
+// in). Batch insertions and re-Warm afterwards for best performance.
 func (ix *Index) AddPOI(loc geo.Point, keywords []string, weight float64) (poi.ID, error) {
 	set := ix.pois.Dict().InternAll(keywords)
 	return ix.addPOISet(loc, set, weight)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -63,7 +64,15 @@ func sortEntries(es []weightedEntry) {
 // over the POIs with per-cell inverted indexes, a global inverted index
 // from keywords to cells, and the cell↔segment maps. Segment lists
 // augmented by a query distance ε are computed on first use and memoized
-// per ε. An Index is safe for concurrent queries.
+// per ε.
+//
+// Read-only contract: once built, an Index is immutable from the point of
+// view of query evaluation and safe for any number of concurrent readers
+// (SOI, Baseline, the accessor methods, and the ε-memo getters, which
+// guard their caches internally). All per-run mutable state lives in
+// soiRun, allocated fresh per evaluation. The only mutating operation is
+// AddPOI, which must be externally serialized against all readers; see
+// dynamic.go.
 type Index struct {
 	net  *network.Network
 	pois *poi.Corpus
@@ -80,7 +89,10 @@ type Index struct {
 	// query-independent source list SL3).
 	segsByLen []network.SegmentID
 
-	mu       sync.Mutex
+	// mu guards the ε-memo maps below and the lazily rebuilt postings
+	// entries; the read paths take the read lock only, so concurrent
+	// queries over distinct or warmed ε values do not serialize.
+	mu       sync.RWMutex
 	segCells map[float64][][]grid.CellID // ε → per-segment Cε(ℓ)
 	cellSegs map[float64]map[grid.CellID][]network.SegmentID
 	sl2      map[float64][]network.SegmentID // ε → segments desc by |Cε(ℓ)|
@@ -125,32 +137,7 @@ func NewIndex(net *network.Network, pois *poi.Corpus, cfg IndexConfig) (*Index, 
 		cellSegs:   make(map[float64]map[grid.CellID][]network.SegmentID),
 		sl2:        make(map[float64][]network.SegmentID),
 	}
-	// Weighted global inverted index and per-cell total weights.
-	g.ForEachCell(func(id grid.CellID, c *grid.Cell) {
-		var total float64
-		for _, m := range c.Members {
-			total += pois.Get(m).Weight
-		}
-		ix.cellWeight[id] = total
-		for kw, postings := range c.Inv {
-			var w float64
-			for _, m := range postings {
-				w += pois.Get(m).Weight
-			}
-			kp := ix.inv[kw]
-			if kp == nil {
-				kp = &kwPostings{weights: make(map[grid.CellID]float64)}
-				ix.inv[kw] = kp
-			}
-			kp.weights[id] = w
-			kp.dirty = true
-		}
-	})
-	// Materialize the sorted entry lists now so a freshly built index is
-	// immediately safe for concurrent queries.
-	for _, kp := range ix.inv {
-		kp.entries()
-	}
+	ix.buildInverted()
 	// SL3: segments by increasing length, ties by id.
 	segs := net.Segments()
 	ix.segsByLen = make([]network.SegmentID, len(segs))
@@ -167,6 +154,117 @@ func NewIndex(net *network.Network, pois *poi.Corpus, cfg IndexConfig) (*Index, 
 	return ix, nil
 }
 
+// parallelInvThreshold is the non-empty-cell count below which the
+// sharded inverted-index build is not worth the goroutine overhead.
+const parallelInvThreshold = 512
+
+// buildInverted derives the weighted global inverted index and the
+// per-cell total weights from the grid, sharding the per-cell work across
+// GOMAXPROCS workers for large grids. Each worker owns a disjoint chunk
+// of cells and accumulates private maps; the merge assigns disjoint
+// (keyword, cell) entries, so the result is identical to a sequential
+// build. The sorted entry lists are materialized before returning so a
+// freshly built index is immediately safe for concurrent queries.
+func (ix *Index) buildInverted() {
+	cells := ix.grid.NonEmptyCells()
+	workers := runtime.GOMAXPROCS(0)
+	if len(cells) < parallelInvThreshold || workers < 2 {
+		for _, cid := range cells {
+			ix.accumulateCell(cid, ix.grid.CellAt(cid), ix.inv)
+		}
+		for _, kp := range ix.inv {
+			kp.entries()
+		}
+		return
+	}
+	partials := make([]map[vocab.ID]*kwPostings, workers)
+	weights := make([]map[grid.CellID]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (len(cells) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo >= len(cells) {
+			break
+		}
+		if hi > len(cells) {
+			hi = len(cells)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sub := &Index{pois: ix.pois, cellWeight: make(map[grid.CellID]float64)}
+			inv := make(map[vocab.ID]*kwPostings)
+			for _, cid := range cells[lo:hi] {
+				sub.accumulateCell(cid, ix.grid.CellAt(cid), inv)
+			}
+			partials[w] = inv
+			weights[w] = sub.cellWeight
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := range partials {
+		for cid, total := range weights[w] {
+			ix.cellWeight[cid] = total
+		}
+		for kw, part := range partials[w] {
+			kp := ix.inv[kw]
+			if kp == nil {
+				ix.inv[kw] = part
+				continue
+			}
+			for cid, wt := range part.weights {
+				kp.weights[cid] = wt
+			}
+		}
+	}
+	// Materialize the sorted entry lists in parallel: each keyword's
+	// postings struct is touched by exactly one worker.
+	kps := make([]*kwPostings, 0, len(ix.inv))
+	for _, kp := range ix.inv {
+		kp.dirty = true
+		kps = append(kps, kp)
+	}
+	chunk = (len(kps) + workers - 1) / workers
+	for lo := 0; lo < len(kps); lo += chunk {
+		hi := lo + chunk
+		if hi > len(kps) {
+			hi = len(kps)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for _, kp := range kps[lo:hi] {
+				kp.entries()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// accumulateCell folds one cell's members into the total-weight map and
+// its postings into the given inverted index.
+func (ix *Index) accumulateCell(id grid.CellID, c *grid.Cell, inv map[vocab.ID]*kwPostings) {
+	var total float64
+	for _, m := range c.Members {
+		total += ix.pois.Get(m).Weight
+	}
+	ix.cellWeight[id] = total
+	for kw, postings := range c.Inv {
+		var w float64
+		for _, m := range postings {
+			w += ix.pois.Get(m).Weight
+		}
+		kp := inv[kw]
+		if kp == nil {
+			kp = &kwPostings{weights: make(map[grid.CellID]float64)}
+			inv[kw] = kp
+		}
+		kp.weights[id] = w
+		kp.dirty = true
+	}
+}
+
 // Network returns the indexed road network.
 func (ix *Index) Network() *network.Network { return ix.net }
 
@@ -178,16 +276,18 @@ func (ix *Index) Grid() *grid.Grid { return ix.grid }
 
 // SegmentCells returns the ε-augmented segment-to-cell map: for every
 // segment, the non-empty grid cells within distance eps. The result is
-// memoized per eps; callers must not modify it.
+// memoized per eps; callers must not modify it. Concurrent callers may
+// race to build the map for a fresh eps; each computes an identical value
+// and the last store wins, so every returned map is valid.
 func (ix *Index) SegmentCells(eps float64) [][]grid.CellID {
-	ix.mu.Lock()
-	if sc, ok := ix.segCells[eps]; ok {
-		ix.mu.Unlock()
+	ix.mu.RLock()
+	sc, ok := ix.segCells[eps]
+	ix.mu.RUnlock()
+	if ok {
 		return sc
 	}
-	ix.mu.Unlock()
 	segs := ix.net.Segments()
-	sc := make([][]grid.CellID, len(segs))
+	sc = make([][]grid.CellID, len(segs))
 	for i := range segs {
 		sc[i] = ix.grid.CellsNearSegment(segs[i].Geom, eps)
 	}
@@ -201,14 +301,14 @@ func (ix *Index) SegmentCells(eps float64) [][]grid.CellID {
 // non-empty cell, the segments within distance eps. Memoized per eps;
 // callers must not modify it.
 func (ix *Index) CellSegments(eps float64) map[grid.CellID][]network.SegmentID {
-	ix.mu.Lock()
-	if cs, ok := ix.cellSegs[eps]; ok {
-		ix.mu.Unlock()
+	ix.mu.RLock()
+	cs, ok := ix.cellSegs[eps]
+	ix.mu.RUnlock()
+	if ok {
 		return cs
 	}
-	ix.mu.Unlock()
 	sc := ix.SegmentCells(eps)
-	cs := make(map[grid.CellID][]network.SegmentID)
+	cs = make(map[grid.CellID][]network.SegmentID)
 	for sid, cells := range sc {
 		for _, c := range cells {
 			cs[c] = append(cs[c], network.SegmentID(sid))
@@ -225,14 +325,14 @@ func (ix *Index) CellSegments(eps float64) map[grid.CellID][]network.SegmentID {
 // maps, it depends only on ε and is memoized; the paper treats these maps
 // as offline structures augmented once per ε.
 func (ix *Index) SegmentsByCellCount(eps float64) []network.SegmentID {
-	ix.mu.Lock()
-	if sl, ok := ix.sl2[eps]; ok {
-		ix.mu.Unlock()
+	ix.mu.RLock()
+	sl, ok := ix.sl2[eps]
+	ix.mu.RUnlock()
+	if ok {
 		return sl
 	}
-	ix.mu.Unlock()
 	sc := ix.SegmentCells(eps)
-	sl := make([]network.SegmentID, len(sc))
+	sl = make([]network.SegmentID, len(sc))
 	for i := range sc {
 		sl[i] = network.SegmentID(i)
 	}
@@ -335,15 +435,24 @@ func (ix *Index) cellMassContribution(c *grid.Cell, query vocab.Set, sid network
 	return mass
 }
 
-// entriesFor returns a keyword's sorted cell entries, rebuilding them
-// under the index mutex when dynamic insertions dirtied them.
+// entriesFor returns a keyword's sorted cell entries. The fast path is a
+// read-locked lookup of the materialized list; the write lock is taken
+// only to rebuild entries dirtied by dynamic insertions.
 func (ix *Index) entriesFor(kw vocab.ID) []weightedEntry {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
 	kp := ix.inv[kw]
 	if kp == nil {
+		ix.mu.RUnlock()
 		return nil
 	}
+	if !kp.dirty {
+		es := kp.sorted
+		ix.mu.RUnlock()
+		return es
+	}
+	ix.mu.RUnlock()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	return kp.entries()
 }
 

@@ -1,44 +1,191 @@
 package core
 
 import (
-	"repro/internal/geo"
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/network"
 	"repro/internal/vocab"
 )
 
 // segState tracks the per-segment state of Algorithm 1. A segment is
-// unseen until its first UpdateInterest, partial while cells remain in
-// toVisit, and final once every ε-near cell has been visited. toVisit is
-// a small slice with swap-delete semantics: Cε(ℓ) lists hold a few dozen
-// cells at most, so a linear scan beats a map.
+// unseen until its first UpdateInterest, partial while unvisited cells
+// remain, and final once every ε-near cell has been visited. cells is
+// the canonical Cε(ℓ) list shared with the index (never mutated);
+// visited and contrib run parallel to it. Keeping each cell's
+// contribution lets the final mass be folded in canonical cell order, a
+// pure function of ⟨segment, Ψ, ε⟩ shareable across runs. Cε(ℓ) holds a
+// few dozen cells at most, so a linear scan beats a map.
 type segState struct {
-	seen    bool
-	final   bool
-	mass    float64       // mass−(ℓ): relevant weight accounted so far
-	toVisit []grid.CellID // cells not yet visited for this segment
+	seen      bool
+	final     bool
+	mass      float64       // mass−(ℓ) accounted so far, in visit order
+	cells     []grid.CellID // canonical Cε(ℓ); read-only
+	visited   []bool
+	contrib   []float64 // per-cell mass contribution, canonical index
+	remaining int
 }
 
-// visit removes cid from toVisit, reporting whether it was present.
-func (st *segState) visit(cid grid.CellID) bool {
-	for i, c := range st.toVisit {
+// visit marks cid visited, returning its canonical index in Cε(ℓ) or -1
+// when the cell is unknown or already visited.
+func (st *segState) visit(cid grid.CellID) int {
+	for i, c := range st.cells {
 		if c == cid {
-			last := len(st.toVisit) - 1
-			st.toVisit[i] = st.toVisit[last]
-			st.toVisit = st.toVisit[:last]
-			return true
+			if st.visited[i] {
+				return -1
+			}
+			st.visited[i] = true
+			st.remaining--
+			return i
 		}
 	}
-	return false
+	return -1
 }
 
 // relPOI caches the location and weight of one query-relevant POI.
 type relPOI struct {
 	loc geo.Point
 	w   float64
+}
+
+// MassCache shares exact segment masses across query evaluations over
+// one index. Once every ε-near cell of a segment has been visited, the
+// segment's exact mass depends only on ⟨segment, Ψ, ε⟩ — not on k or on
+// the algorithm's traversal state — so later runs over the same keyword
+// set skip the segment's cell visits entirely. Cached values are the
+// bit-exact floats the uncached path computes (final masses fold
+// per-cell contributions in canonical Cε(ℓ) order; each contribution
+// streams POIs in id order), so results are identical with and without
+// the cache. MassCache is safe for concurrent use; it is sharded to keep
+// lock contention off the hot path.
+//
+// The cache grows up to a configured entry budget and then stops
+// admitting new entries (existing ones keep serving hits); call Clear
+// after mutating the index.
+type MassCache struct {
+	psiMu sync.Mutex
+	psis  map[string]uint32 // canonical resolved keyword set → dense id
+
+	limit  int64
+	size   int64 // guarded by psiMu
+	finals [massCacheShards]finalShard
+}
+
+const massCacheShards = 64
+
+// DefaultMassCacheEntries bounds a MassCache built with size 0: at ~50
+// bytes per entry this is on the order of 100 MB, far below the index
+// itself for city-scale datasets.
+const DefaultMassCacheEntries = 1 << 21
+
+type finalShard struct {
+	mu sync.RWMutex
+	m  map[finalKey]float64
+}
+
+type finalKey struct {
+	sid network.SegmentID
+	psi uint32
+	eps float64
+}
+
+// NewMassCache returns a cache bounded to maxEntries contributions (0
+// means DefaultMassCacheEntries).
+func NewMassCache(maxEntries int) *MassCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMassCacheEntries
+	}
+	mc := &MassCache{psis: make(map[string]uint32), limit: int64(maxEntries)}
+	for i := range mc.finals {
+		mc.finals[i].m = make(map[finalKey]float64)
+	}
+	return mc
+}
+
+// Clear drops every cached mass and keyword-set id.
+func (mc *MassCache) Clear() {
+	for i := range mc.finals {
+		s := &mc.finals[i]
+		s.mu.Lock()
+		s.m = make(map[finalKey]float64)
+		s.mu.Unlock()
+	}
+	mc.psiMu.Lock()
+	mc.psis = make(map[string]uint32)
+	mc.size = 0
+	mc.psiMu.Unlock()
+}
+
+// Len returns the number of cached segment masses.
+func (mc *MassCache) Len() int {
+	var n int
+	for i := range mc.finals {
+		s := &mc.finals[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// psiID interns a resolved keyword set into a dense id, so that mass keys
+// stay small and hash quickly.
+func (mc *MassCache) psiID(query vocab.Set) uint32 {
+	var b strings.Builder
+	for _, id := range query {
+		b.WriteByte(byte(id))
+		b.WriteByte(byte(id >> 8))
+		b.WriteByte(byte(id >> 16))
+		b.WriteByte(byte(id >> 24))
+	}
+	key := b.String()
+	mc.psiMu.Lock()
+	defer mc.psiMu.Unlock()
+	if id, ok := mc.psis[key]; ok {
+		return id
+	}
+	id := uint32(len(mc.psis))
+	mc.psis[key] = id
+	return id
+}
+
+func (mc *MassCache) finalShardFor(k finalKey) *finalShard {
+	h := uint64(uint32(k.sid))*0x9e3779b1 ^ uint64(k.psi)<<21
+	return &mc.finals[h%massCacheShards]
+}
+
+func (mc *MassCache) getFinal(k finalKey) (float64, bool) {
+	s := mc.finalShardFor(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (mc *MassCache) putFinal(k finalKey, v float64) {
+	if !mc.admit() {
+		return
+	}
+	s := mc.finalShardFor(k)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// admit charges one entry against the budget, reporting whether the
+// cache may still grow.
+func (mc *MassCache) admit() bool {
+	mc.psiMu.Lock()
+	defer mc.psiMu.Unlock()
+	if mc.size >= mc.limit {
+		return false
+	}
+	mc.size++
+	return true
 }
 
 // soiRun carries the mutable state of one SOI evaluation.
@@ -48,6 +195,12 @@ type soiRun struct {
 	k     int
 	eps   float64
 	strat Strategy
+
+	// mc, when non-nil, shares per-(segment, cell) mass contributions
+	// with other runs over the same index; psi is the query's interned id
+	// in the cache.
+	mc  *MassCache
+	psi uint32
 
 	segCells [][]grid.CellID
 	cellSegs map[grid.CellID][]network.SegmentID
@@ -111,11 +264,22 @@ func (ix *Index) SOI(q Query) ([]StreetResult, Stats, error) {
 
 // SOIWithStrategy is SOI with an explicit source-list access strategy.
 func (ix *Index) SOIWithStrategy(q Query, strat Strategy) ([]StreetResult, Stats, error) {
+	return ix.SOIWithCache(q, strat, nil)
+}
+
+// SOIWithCache is SOIWithStrategy with an optional shared MassCache. A
+// nil cache evaluates the query standalone. Because cached contributions
+// are the bit-exact values the standalone path computes, the results are
+// identical either way; only the work to obtain them is shared.
+func (ix *Index) SOIWithCache(q Query, strat Strategy, mc *MassCache) ([]StreetResult, Stats, error) {
 	query, err := ix.resolveQuery(q)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	r := &soiRun{ix: ix, query: query, k: q.K, eps: q.Epsilon, strat: strat}
+	r := &soiRun{ix: ix, query: query, k: q.K, eps: q.Epsilon, strat: strat, mc: mc}
+	if mc != nil {
+		r.psi = mc.psiID(query)
+	}
 	r.stats.TotalSegments = ix.net.NumSegments()
 	r.stats.TotalCells = ix.grid.NumCells()
 
@@ -196,21 +360,41 @@ func (r *soiRun) relevantInCell(cid grid.CellID) []relPOI {
 	return rel
 }
 
-// state returns the segment state, initializing toVisit from Cε(ℓ) on
-// first touch.
+// state returns the segment state, initializing it from Cε(ℓ) on first
+// touch. When a shared cache already holds the segment's exact mass for
+// this ⟨Ψ, ε⟩, the segment starts out final and its cell visits are
+// skipped entirely.
 func (r *soiRun) state(sid network.SegmentID) *segState {
 	st := &r.states[sid]
-	if !st.seen {
-		st.seen = true
-		cells := r.segCells[sid]
-		st.toVisit = append(make([]grid.CellID, 0, len(cells)), cells...)
-		if len(st.toVisit) == 0 {
+	if st.seen {
+		return st
+	}
+	st.seen = true
+	r.seen = append(r.seen, sid)
+	r.stats.SegmentsSeen++
+	cells := r.segCells[sid]
+	if len(cells) == 0 {
+		st.final = true
+		r.stats.SegmentsFinal++
+		return st
+	}
+	if r.mc != nil {
+		if m, ok := r.mc.getFinal(finalKey{sid: sid, psi: r.psi, eps: r.eps}); ok {
+			st.mass = m
 			st.final = true
 			r.stats.SegmentsFinal++
+			r.stats.SegmentCacheHits++
+			if m > 0 {
+				seg := r.ix.net.Segment(sid)
+				r.topk.Update(seg.Street, Interest(m, seg.Length(), r.eps))
+			}
+			return st
 		}
-		r.seen = append(r.seen, sid)
-		r.stats.SegmentsSeen++
 	}
+	st.cells = cells
+	st.visited = make([]bool, len(cells))
+	st.contrib = make([]float64, len(cells))
+	st.remaining = len(cells)
 	return st
 }
 
@@ -219,24 +403,56 @@ func (r *soiRun) state(sid network.SegmentID) *segState {
 // mass−(ℓ), and propagates the improved interest lower bound to LBk.
 func (r *soiRun) updateInterest(sid network.SegmentID, cid grid.CellID) {
 	st := r.state(sid)
-	if !st.visit(cid) {
+	if st.final {
+		return
+	}
+	i := st.visit(cid)
+	if i < 0 {
 		return // already visited for this segment
 	}
+	r.applyVisit(sid, st, i, cid)
+}
+
+// applyVisit performs the work of one cell visit. The cell's contribution
+// is folded into a local sum before being added to the segment mass, so
+// the value is a pure function of ⟨segment, cell, Ψ, ε⟩ (POIs stream in
+// id order) regardless of the visit order the run uses.
+func (r *soiRun) applyVisit(sid network.SegmentID, st *segState, i int, cid grid.CellID) {
 	r.stats.CellVisits++
+	var contrib float64
 	seg := r.ix.net.Segment(sid).Geom
 	epsSq := r.eps * r.eps
 	for _, p := range r.relevantInCell(cid) {
 		if seg.DistToPointSq(p.loc) <= epsSq {
-			st.mass += p.w
+			contrib += p.w
 		}
 	}
-	if len(st.toVisit) == 0 && !st.final {
-		st.final = true
-		r.stats.SegmentsFinal++
+	st.contrib[i] = contrib
+	st.mass += contrib
+	if st.remaining == 0 {
+		r.finalizeMass(sid, st)
 	}
 	if st.mass > 0 {
-		lb := Interest(st.mass, r.ix.net.Segment(sid).Length(), r.eps)
-		r.topk.Update(r.ix.net.Segment(sid).Street, lb)
+		seg := r.ix.net.Segment(sid)
+		r.topk.Update(seg.Street, Interest(st.mass, seg.Length(), r.eps))
+	}
+}
+
+// finalizeMass recomputes the now-exact segment mass as the fold of its
+// per-cell contributions in canonical Cε(ℓ) order. The canonical fold
+// makes the final mass independent of the visit order this particular
+// run happened to use — a pure function of ⟨segment, Ψ, ε⟩ — so it can
+// be shared bit-exactly across runs.
+func (r *soiRun) finalizeMass(sid network.SegmentID, st *segState) {
+	var m float64
+	for _, c := range st.contrib {
+		m += c
+	}
+	st.mass = m
+	st.final = true
+	r.stats.SegmentsFinal++
+	if r.mc != nil {
+		r.mc.putFinal(finalKey{sid: sid, psi: r.psi, eps: r.eps}, m)
 	}
 }
 
@@ -294,7 +510,12 @@ func (r *soiRun) filter() {
 		cheapCells = 4
 	}
 	for {
-		if r.unseenUpperBound() <= r.topk.Bound() {
+		// Stop only when every unseen segment is STRICTLY below the seen
+		// lower bound (or provably massless). The strict comparison keeps
+		// exact ties at the k-th rank inside the seen set, so the result
+		// is a pure function of the query even when a shared MassCache
+		// changes how fast LBk rises.
+		if ub := r.unseenUpperBound(); ub == 0 || ub < r.topk.Bound() {
 			return
 		}
 		if r.p1 >= len(r.sl1) {
@@ -340,7 +561,9 @@ func (r *soiRun) filter() {
 func (r *soiRun) filterRoundRobin() {
 	src := 0
 	for {
-		if r.unseenUpperBound() <= r.topk.Bound() {
+		// Strict stop, as in the cost-aware schedule: ties at the k-th
+		// rank must be seen before the filter may stop.
+		if ub := r.unseenUpperBound(); ub == 0 || ub < r.topk.Bound() {
 			return
 		}
 		switch src {
@@ -376,7 +599,7 @@ func (r *soiRun) filterRoundRobin() {
 // become final (all of Cε(ℓ) when unseen).
 func (r *soiRun) remainingCells(sid network.SegmentID) int {
 	if st := &r.states[sid]; st.seen {
-		return len(st.toVisit)
+		return st.remaining
 	}
 	return len(r.segCells[sid])
 }
@@ -392,12 +615,16 @@ func (r *soiRun) finalizeSegment(sid network.SegmentID) {
 // drainSegment visits every remaining cell of a seen segment.
 func (r *soiRun) drainSegment(sid network.SegmentID) {
 	st := &r.states[sid]
-	for len(st.toVisit) > 0 {
-		r.updateInterest(sid, st.toVisit[len(st.toVisit)-1])
-	}
-	if !st.final {
-		st.final = true
-		r.stats.SegmentsFinal++
+	for i, c := range st.cells {
+		if st.final {
+			return
+		}
+		if st.visited[i] {
+			continue
+		}
+		st.visited[i] = true
+		st.remaining--
+		r.applyVisit(sid, st, i, c)
 	}
 }
 
@@ -423,8 +650,10 @@ func (r *soiRun) refine() []StreetResult {
 	for _, sid := range r.seen {
 		st := &r.states[sid]
 		pot := st.mass
-		for _, c := range st.toVisit {
-			pot += cellW[c]
+		for i, c := range st.cells {
+			if !st.visited[i] {
+				pot += cellW[c]
+			}
 		}
 		if pot <= 0 {
 			continue
@@ -449,8 +678,14 @@ func (r *soiRun) refine() []StreetResult {
 	streetBest := make(map[network.StreetID]best)
 	exactTopK := newStreetTopK(r.k)
 	for _, c := range cands {
-		if bound := exactTopK.Bound(); bound > 0 && c.ub <= bound {
-			break // no remaining candidate can enter or reorder the top-k
+		// Strictly below the k-th exact interest: the candidate can
+		// neither enter nor tie into the top-k. The comparison must be
+		// strict so that exact ties at the boundary are always drained —
+		// that keeps the reported set a pure function of the query, no
+		// matter how much of the search earlier runs short-circuited
+		// through a shared MassCache.
+		if bound := exactTopK.Bound(); bound > 0 && c.ub < bound {
+			break
 		}
 		st := &r.states[c.sid]
 		if !st.final {

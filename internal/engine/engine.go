@@ -1,0 +1,377 @@
+// Package engine provides the parallel k-SOI query engine: a batch
+// executor that evaluates many ⟨Ψ, k, ε⟩ queries concurrently over one
+// shared, read-only core.Index with a bounded worker pool, deduplicating
+// identical in-flight queries and memoizing recent answers in an LRU
+// cache keyed by the normalized query. Batches also share work below the
+// result level: queries that differ only in k are coalesced into one
+// evaluation at the largest k (every smaller answer is a rank prefix of
+// the larger one), and exact segment masses are pooled in a
+// core.MassCache keyed by ⟨segment, Ψ, ε⟩. A batch over one index
+// therefore performs strictly less work than evaluating its queries in
+// isolation, with bit-identical results.
+//
+// The executor relies on the Index read-only contract (see
+// internal/core): after construction the index is immutable under query
+// traffic, so any number of executor workers may read it concurrently.
+// If the underlying index is mutated (core.Index.AddPOI), call
+// Invalidate to drop the now-stale cached results.
+package engine
+
+import (
+	"container/list"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/vocab"
+)
+
+// Config controls executor construction.
+type Config struct {
+	// Workers bounds the number of queries evaluated concurrently by
+	// Batch; 0 or negative means GOMAXPROCS.
+	Workers int
+	// CacheSize is the maximum number of query results kept in the LRU
+	// cache. 0 means DefaultCacheSize; negative disables caching.
+	CacheSize int
+	// MassCacheEntries bounds the shared segment-mass cache through which
+	// evaluations reuse each other's exact per-segment work. 0 means
+	// core.DefaultMassCacheEntries; negative disables the cache. Sharing
+	// changes only the work performed, never the results: cached masses
+	// are bit-identical to standalone evaluation.
+	MassCacheEntries int
+	// Strategy is the source-list access strategy used for every query.
+	Strategy core.Strategy
+}
+
+// DefaultCacheSize is the LRU capacity used when Config leaves it zero.
+const DefaultCacheSize = 1024
+
+// Result is the outcome of one query evaluation.
+type Result struct {
+	// Streets may be shared with the cache and other callers; treat it
+	// as read-only.
+	Streets []core.StreetResult
+	Stats   core.Stats
+	Err     error
+	// Cached reports whether the result was served from the LRU cache
+	// (Stats then describes the original evaluation).
+	Cached bool
+}
+
+// Metrics are the executor's cumulative counters; safe to read
+// concurrently with query traffic.
+type Metrics struct {
+	// Queries counts every Do/Batch query received.
+	Queries uint64
+	// CacheHits counts queries answered from the LRU cache.
+	CacheHits uint64
+	// DedupHits counts queries that joined an identical in-flight
+	// evaluation instead of starting their own.
+	DedupHits uint64
+	// Evaluations counts queries that ran the SOI algorithm.
+	Evaluations uint64
+}
+
+// Executor evaluates k-SOI queries over one shared index. It is safe for
+// concurrent use.
+type Executor struct {
+	ix      *core.Index
+	workers int
+	strat   core.Strategy
+	sem     chan struct{}
+
+	cache *lruCache       // nil when result caching is disabled
+	mass  *core.MassCache // nil when mass sharing is disabled
+
+	flightMu sync.Mutex
+	flight   map[string]*flight
+
+	queries     atomic.Uint64
+	cacheHits   atomic.Uint64
+	dedupHits   atomic.Uint64
+	evaluations atomic.Uint64
+}
+
+// flight is one in-progress evaluation that late arrivals can join.
+type flight struct {
+	done chan struct{}
+	res  Result
+}
+
+// New builds an executor over the index.
+func New(ix *core.Index, cfg Config) *Executor {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Executor{
+		ix:      ix,
+		workers: workers,
+		strat:   cfg.Strategy,
+		sem:     make(chan struct{}, workers),
+		flight:  make(map[string]*flight),
+	}
+	switch {
+	case cfg.CacheSize == 0:
+		e.cache = newLRUCache(DefaultCacheSize)
+	case cfg.CacheSize > 0:
+		e.cache = newLRUCache(cfg.CacheSize)
+	}
+	if cfg.MassCacheEntries >= 0 {
+		e.mass = core.NewMassCache(cfg.MassCacheEntries)
+	}
+	return e
+}
+
+// Index returns the shared index the executor evaluates against.
+func (e *Executor) Index() *core.Index { return e.ix }
+
+// Workers returns the worker-pool bound.
+func (e *Executor) Workers() int { return e.workers }
+
+// Metrics returns a snapshot of the cumulative counters.
+func (e *Executor) Metrics() Metrics {
+	return Metrics{
+		Queries:     e.queries.Load(),
+		CacheHits:   e.cacheHits.Load(),
+		DedupHits:   e.dedupHits.Load(),
+		Evaluations: e.evaluations.Load(),
+	}
+}
+
+// Invalidate drops every cached result and shared mass contribution.
+// Call after mutating the underlying index.
+func (e *Executor) Invalidate() {
+	if e.cache != nil {
+		e.cache.clear()
+	}
+	if e.mass != nil {
+		e.mass.Clear()
+	}
+}
+
+// Do evaluates one query, consulting the cache and joining an identical
+// in-flight evaluation when possible. Invalid queries yield a Result with
+// Err set, mirroring core.Index.SOI.
+func (e *Executor) Do(q core.Query) Result {
+	e.queries.Add(1)
+	if err := q.Validate(); err != nil {
+		// Invalid queries are not cached: the error is cheaper to
+		// recompute than a cache slot.
+		return Result{Err: err}
+	}
+	return e.eval(q)
+}
+
+// eval runs one validated query through the cache, the in-flight table
+// and the bounded evaluation pool.
+func (e *Executor) eval(q core.Query) Result {
+	key := queryKey(q, e.strat)
+	if e.cache != nil {
+		if res, ok := e.cache.get(key); ok {
+			e.cacheHits.Add(1)
+			res.Cached = true
+			return res
+		}
+	}
+	e.flightMu.Lock()
+	if f, ok := e.flight[key]; ok {
+		e.flightMu.Unlock()
+		<-f.done
+		e.dedupHits.Add(1)
+		res := f.res
+		res.Cached = true
+		return res
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flight[key] = f
+	e.flightMu.Unlock()
+
+	// The semaphore bounds concurrent evaluations engine-wide, covering
+	// both Batch workers and direct Do callers (e.g. HTTP handlers).
+	e.sem <- struct{}{}
+	e.evaluations.Add(1)
+	streets, stats, err := e.ix.SOIWithCache(q, e.strat, e.mass)
+	<-e.sem
+	f.res = Result{Streets: streets, Stats: stats, Err: err}
+	if err == nil && e.cache != nil {
+		e.cache.put(key, f.res)
+	}
+	e.flightMu.Lock()
+	delete(e.flight, key)
+	e.flightMu.Unlock()
+	close(f.done)
+	return f.res
+}
+
+// Batch evaluates the queries concurrently over the shared index with at
+// most Workers evaluations in flight, returning results in input order.
+//
+// Queries that share ⟨Ψ, ε, strategy⟩ and differ only in k are coalesced
+// into a single evaluation at the group's largest k: the evaluation is
+// exact and ranks canonically (interest descending, street id ascending),
+// so every smaller-k answer is the first k entries of the larger one,
+// bit-identical to evaluating it alone. A coalesced entry's Stats
+// describe the shared evaluation.
+func (e *Executor) Batch(qs []core.Query) []Result {
+	out := make([]Result, len(qs))
+	type group struct {
+		rep     core.Query // representative query; K is the group maximum
+		members []int
+	}
+	groups := make(map[string]*group, len(qs))
+	var order []string
+	for i, q := range qs {
+		e.queries.Add(1)
+		if err := q.Validate(); err != nil {
+			out[i] = Result{Err: err}
+			continue
+		}
+		gk := groupKey(q, e.strat)
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{rep: q}
+			groups[gk] = g
+			order = append(order, gk)
+		} else if q.K > g.rep.K {
+			g.rep.K = q.K
+		}
+		g.members = append(g.members, i)
+	}
+	workers := e.workers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				gi := int(next.Add(1)) - 1
+				if gi >= len(order) {
+					return
+				}
+				g := groups[order[gi]]
+				res := e.eval(g.rep)
+				for _, i := range g.members {
+					out[i] = prefix(res, qs[i].K)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// prefix derives a smaller-k result from a shared evaluation at a larger
+// k over the same ⟨Ψ, ε, strategy⟩. The slice header is re-cut rather
+// than copied; Result.Streets is read-only by contract.
+func prefix(res Result, k int) Result {
+	if res.Err == nil && len(res.Streets) > k {
+		res.Streets = res.Streets[:k]
+	}
+	return res
+}
+
+// writeKeyBase writes the query identity shared by every k: the keyword
+// set normalized the way the index resolves it (lower-cased, trimmed,
+// sorted, deduplicated), the exact bits of ε, and the access strategy.
+func writeKeyBase(b *strings.Builder, q core.Query, strat core.Strategy) {
+	kws := make([]string, 0, len(q.Keywords))
+	for _, k := range q.Keywords {
+		kws = append(kws, vocab.Normalize(k))
+	}
+	sort.Strings(kws)
+	for i, k := range kws {
+		if i > 0 && kws[i-1] == k {
+			continue
+		}
+		b.WriteString(k)
+		b.WriteByte(0x1f)
+	}
+	b.WriteString(strconv.FormatFloat(q.Epsilon, 'b', -1, 64))
+	b.WriteByte(0x1f)
+	b.WriteString(strconv.Itoa(int(strat)))
+}
+
+// queryKey is the full cache identity of a query: the base identity plus
+// k.
+func queryKey(q core.Query, strat core.Strategy) string {
+	var b strings.Builder
+	writeKeyBase(&b, q, strat)
+	b.WriteByte(0x1f)
+	b.WriteString(strconv.Itoa(q.K))
+	return b.String()
+}
+
+// groupKey is the k-independent identity used to coalesce batch queries.
+func groupKey(q core.Query, strat core.Strategy) string {
+	var b strings.Builder
+	writeKeyBase(&b, q, strat)
+	return b.String()
+}
+
+// lruCache is a mutex-guarded LRU map from query key to Result.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res Result
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return Result{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+func (c *lruCache) put(key string, res Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = make(map[string]*list.Element)
+}
+
+// len returns the number of cached results.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

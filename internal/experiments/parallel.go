@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// ParallelResult reports one parallel-throughput measurement: the same
+// query workload evaluated sequentially and through the batch executor
+// over one shared index.
+type ParallelResult struct {
+	City       string
+	Workers    int
+	Queries    int
+	Sequential time.Duration
+	Parallel   time.Duration
+	// Identical reports whether every parallel answer matched the
+	// sequential answer exactly (street ids and interest bits).
+	Identical bool
+}
+
+// Speedup returns the sequential/parallel wall-clock ratio.
+func (r ParallelResult) Speedup() float64 {
+	if r.Parallel <= 0 {
+		return 0
+	}
+	return float64(r.Sequential) / float64(r.Parallel)
+}
+
+// SequentialQPS returns the sequential throughput in queries per second.
+func (r ParallelResult) SequentialQPS() float64 { return qps(r.Queries, r.Sequential) }
+
+// ParallelQPS returns the parallel throughput in queries per second.
+func (r ParallelResult) ParallelQPS() float64 { return qps(r.Queries, r.Parallel) }
+
+func qps(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// ParallelWorkload builds n pairwise-distinct k-SOI queries over the
+// paper's keyword progression: every combination of a non-empty keyword
+// subset, a k value and a warmed ε is enumerated in a mixed-radix order,
+// cycling when n exceeds the combination count. Distinct queries keep the
+// executor's in-flight deduplication out of the measurement, so the
+// parallel run exercises true concurrent evaluation.
+func ParallelWorkload(n int) []core.Query {
+	// 15 non-empty subsets of the 4-keyword progression.
+	var subsets [][]string
+	for mask := 1; mask < 1<<len(KeywordProgression); mask++ {
+		var kws []string
+		for b, kw := range KeywordProgression {
+			if mask&(1<<b) != 0 {
+				kws = append(kws, kw)
+			}
+		}
+		subsets = append(subsets, kws)
+	}
+	ks := []int{1, 5, 10, 20, 50}
+	out := make([]core.Query, n)
+	for i := range out {
+		out[i] = core.Query{
+			Keywords: subsets[i%len(subsets)],
+			K:        ks[(i/len(subsets))%len(ks)],
+			Epsilon:  Epsilon,
+		}
+	}
+	return out
+}
+
+// ParallelBench runs the default synthetic workload over the city's
+// shared index twice — a sequential loop of standalone evaluations, then
+// the batch executor with the given worker count — and verifies the
+// parallel results are identical to the sequential ones. Result caching
+// is disabled so no query is answered without evaluation; the speedup
+// comes from concurrent evaluation plus the executor's cross-query mass
+// sharing over the one shared index.
+func ParallelBench(c *City, workers, n int) (ParallelResult, error) {
+	queries := ParallelWorkload(n)
+	res := ParallelResult{City: c.Name(), Workers: workers, Queries: len(queries)}
+
+	seq := make([][]core.StreetResult, len(queries))
+	start := time.Now()
+	for i, q := range queries {
+		r, _, err := c.Index.SOI(q)
+		if err != nil {
+			return res, fmt.Errorf("experiments: sequential query %d: %w", i, err)
+		}
+		seq[i] = r
+	}
+	res.Sequential = time.Since(start)
+
+	exec := engine.New(c.Index, engine.Config{Workers: workers, CacheSize: -1})
+	start = time.Now()
+	par := exec.Batch(queries)
+	res.Parallel = time.Since(start)
+
+	res.Identical = true
+	for i := range par {
+		if par[i].Err != nil {
+			return res, fmt.Errorf("experiments: parallel query %d: %w", i, par[i].Err)
+		}
+		if !sameStreetResults(par[i].Streets, seq[i]) {
+			res.Identical = false
+		}
+	}
+	return res, nil
+}
+
+// sameStreetResults reports whether two ranked result lists agree exactly
+// on street ids and interest values.
+func sameStreetResults(a, b []core.StreetResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Street != b[i].Street ||
+			math.Float64bits(a[i].Interest) != math.Float64bits(b[i].Interest) {
+			return false
+		}
+	}
+	return true
+}
+
+// PrintParallelBench renders one parallel-throughput measurement.
+func PrintParallelBench(w io.Writer, r ParallelResult) {
+	line(w, "Parallel query throughput — %s (%d queries, %d workers)", r.City, r.Queries, r.Workers)
+	line(w, "  sequential: %8s ms total   %8.1f q/s", ms(r.Sequential), r.SequentialQPS())
+	line(w, "  parallel:   %8s ms total   %8.1f q/s", ms(r.Parallel), r.ParallelQPS())
+	identical := "yes"
+	if !r.Identical {
+		identical = "NO — MISMATCH"
+	}
+	line(w, "  speedup: %.2fx   results identical: %s", r.Speedup(), identical)
+}

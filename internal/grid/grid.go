@@ -14,7 +14,9 @@ package grid
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/geo"
 	"repro/internal/vocab"
@@ -90,8 +92,35 @@ func Build(cfg Config, locs []geo.Point, keys []vocab.Set) (*Grid, error) {
 		cells:    make(map[CellID]*Cell),
 		n:        len(locs),
 	}
-	for i, p := range locs {
-		cid := g.CellIndex(p)
+	workers := runtime.GOMAXPROCS(0)
+	if len(locs) < parallelBuildThreshold || workers < 2 {
+		g.buildCells(locs, keys, nil, 1, 0)
+	} else {
+		g.buildCellsParallel(locs, keys, workers)
+	}
+	return g, nil
+}
+
+// parallelBuildThreshold is the object count below which the sharded
+// parallel ingestion is not worth the goroutine and re-scan overhead.
+const parallelBuildThreshold = 4096
+
+// buildCells ingests every object whose cell id is owned by this shard
+// (cid ≡ shard mod shards; shards=1 ingests everything) into g.cells,
+// then finalizes the per-cell invariants. Objects are scanned in index
+// order, which preserves the sorted-members and sorted-postings
+// invariants by appending. cids optionally carries precomputed cell ids.
+func (g *Grid) buildCells(locs []geo.Point, keys []vocab.Set, cids []CellID, shards, shard int) {
+	for i := range locs {
+		var cid CellID
+		if cids != nil {
+			cid = cids[i]
+		} else {
+			cid = g.CellIndex(locs[i])
+		}
+		if shards > 1 && int(cid)%shards != shard {
+			continue
+		}
 		c := g.cells[cid]
 		if c == nil {
 			c = &Cell{Inv: make(map[vocab.ID][]uint32), PsiMin: math.MaxInt}
@@ -114,16 +143,65 @@ func Build(cfg Config, locs []geo.Point, keys []vocab.Set) (*Grid, error) {
 		}
 	}
 	for _, c := range g.cells {
-		ids := make([]vocab.ID, 0, len(c.Inv))
-		for kw := range c.Inv {
-			ids = append(ids, kw)
+		finalizeCell(c)
+	}
+}
+
+// finalizeCell derives a cell's keyword set from its postings and fixes
+// the cardinality lower bound of keyword-free cells.
+func finalizeCell(c *Cell) {
+	ids := make([]vocab.ID, 0, len(c.Inv))
+	for kw := range c.Inv {
+		ids = append(ids, kw)
+	}
+	c.Keywords = vocab.NewSet(ids)
+	if c.PsiMin == math.MaxInt {
+		c.PsiMin = 0
+	}
+}
+
+// buildCellsParallel shards ingestion across workers. Cell ids are
+// precomputed once by chunked parallel scans; then each worker owns the
+// cells with id ≡ w (mod workers) and builds them into a private map,
+// scanning the shared cid slice in index order. The per-worker maps are
+// disjoint by construction, so the final merge is conflict-free, and the
+// resulting grid is bit-identical to a sequential build.
+func (g *Grid) buildCellsParallel(locs []geo.Point, keys []vocab.Set, workers int) {
+	cids := make([]CellID, len(locs))
+	var wg sync.WaitGroup
+	chunk := (len(locs) + workers - 1) / workers
+	for lo := 0; lo < len(locs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(locs) {
+			hi = len(locs)
 		}
-		c.Keywords = vocab.NewSet(ids)
-		if c.PsiMin == math.MaxInt {
-			c.PsiMin = 0
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				cids[i] = g.CellIndex(locs[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	shards := make([]map[CellID]*Cell, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sg := &Grid{bounds: g.bounds, cellSize: g.cellSize, nx: g.nx, ny: g.ny,
+				cells: make(map[CellID]*Cell)}
+			sg.buildCells(locs, keys, cids, workers, w)
+			shards[w] = sg.cells
+		}(w)
+	}
+	wg.Wait()
+	for _, shard := range shards {
+		for cid, c := range shard {
+			g.cells[cid] = c
 		}
 	}
-	return g, nil
 }
 
 // Len returns the number of indexed objects.

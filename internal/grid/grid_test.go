@@ -410,3 +410,78 @@ func TestInsertIntoEmptyCellPsiBounds(t *testing.T) {
 		t.Fatalf("psi bounds = %d,%d, want 2,2", c.PsiMin, c.PsiMax)
 	}
 }
+
+// TestParallelBuildMatchesSequential checks that the sharded parallel
+// ingestion produces a grid bit-identical to the sequential build. Build
+// only takes the parallel path above parallelBuildThreshold objects and
+// with GOMAXPROCS ≥ 2, so the test drives buildCellsParallel directly
+// with forced worker counts — including ones that don't divide the cell
+// count evenly.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := vocab.NewDictionary()
+	n := parallelBuildThreshold + 513
+	locs := make([]geo.Point, n)
+	keys := make([]vocab.Set, n)
+	words := []string{"shop", "food", "park", "museum", "cafe"}
+	for i := range locs {
+		locs[i] = geo.Pt(rng.Float64()*9, rng.Float64()*9)
+		var tags []string
+		for _, w := range words {
+			if rng.Float64() < 0.3 {
+				tags = append(tags, w)
+			}
+		}
+		keys[i] = d.InternAll(tags)
+	}
+	cfg := Config{CellSize: 0.4, Bounds: geo.R(0, 0, 9, 9)}
+	seq, err := Build(cfg, locs, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 7, 16} {
+		par, err := Build(cfg, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par.n = n
+		par.buildCellsParallel(locs, keys, workers)
+		if par.NumCells() != seq.NumCells() {
+			t.Fatalf("workers=%d: %d cells, want %d", workers, par.NumCells(), seq.NumCells())
+		}
+		seq.ForEachCell(func(id CellID, want *Cell) {
+			got := par.CellAt(id)
+			if got == nil {
+				t.Fatalf("workers=%d: cell %d missing", workers, id)
+			}
+			if len(got.Members) != len(want.Members) {
+				t.Fatalf("workers=%d cell %d: %d members, want %d", workers, id, len(got.Members), len(want.Members))
+			}
+			for i := range want.Members {
+				if got.Members[i] != want.Members[i] {
+					t.Fatalf("workers=%d cell %d member %d differs", workers, id, i)
+				}
+			}
+			if got.PsiMin != want.PsiMin || got.PsiMax != want.PsiMax {
+				t.Fatalf("workers=%d cell %d psi bounds differ", workers, id)
+			}
+			if !got.Keywords.Equal(want.Keywords) {
+				t.Fatalf("workers=%d cell %d keywords differ", workers, id)
+			}
+			if len(got.Inv) != len(want.Inv) {
+				t.Fatalf("workers=%d cell %d inverted index size differs", workers, id)
+			}
+			for kw, ps := range want.Inv {
+				gps := got.Inv[kw]
+				if len(gps) != len(ps) {
+					t.Fatalf("workers=%d cell %d kw %d postings differ", workers, id, kw)
+				}
+				for i := range ps {
+					if gps[i] != ps[i] {
+						t.Fatalf("workers=%d cell %d kw %d posting %d differs", workers, id, kw, i)
+					}
+				}
+			}
+		})
+	}
+}

@@ -8,6 +8,15 @@
 //	/api/streets?keywords=a,b&k=10&eps=0.0005
 //	/api/describe?street=NAME&k=4&lambda=0.5&w=0.5&rho=0.0001&eps=0.0005
 //	/api/tour?keywords=a,b&k=10&eps=0.0005&budget=0.05
+//
+// plus one POST endpoint evaluating many k-SOI queries concurrently over
+// the shared index:
+//
+//	/api/streets/batch                 {"queries":[{"keywords":["a"],"k":10,"eps":0.0005}, ...]}
+//
+// Handlers run concurrently (one goroutine per request, per net/http)
+// against one shared engine; the engine's executor bounds how many k-SOI
+// evaluations are in flight and caches repeated queries.
 package server
 
 import (
@@ -32,6 +41,7 @@ func New(engine *soi.Engine) *Server {
 	s := &Server{engine: engine, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/streets", s.handleStreets)
+	s.mux.HandleFunc("/api/streets/batch", s.handleStreetsBatch)
 	s.mux.HandleFunc("/api/describe", s.handleDescribe)
 	s.mux.HandleFunc("/api/tour", s.handleTour)
 	return s
@@ -143,6 +153,83 @@ func (s *Server) handleStreets(w http.ResponseWriter, r *http.Request) {
 		res = []soi.Street{}
 	}
 	writeJSON(w, http.StatusOK, streetsResponse{Streets: res})
+}
+
+// batchRequest is the /api/streets/batch request payload.
+type batchRequest struct {
+	Queries []batchQuery `json:"queries"`
+}
+
+// batchQuery is one k-SOI query of a batch request; k and eps fall back
+// to the /api/streets defaults when omitted.
+type batchQuery struct {
+	Keywords []string `json:"keywords"`
+	K        int      `json:"k"`
+	Eps      float64  `json:"eps"`
+}
+
+// batchResponse is the /api/streets/batch payload: one entry per query,
+// in request order, each succeeding or failing independently.
+type batchResponse struct {
+	Results []batchEntry `json:"results"`
+}
+
+type batchEntry struct {
+	// Streets is an array (possibly empty) when the query succeeded and
+	// null when Error is set, so clients can distinguish "no matching
+	// streets" from a failure.
+	Streets []soi.Street `json:"streets"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// maxBatchQueries caps one batch request; larger workloads should be
+// split so that a single request cannot monopolize the worker pool.
+const maxBatchQueries = 1024
+
+func (s *Server) handleStreetsBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no queries"))
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%d queries exceed the batch limit %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	qs := make([]soi.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		k := q.K
+		if k == 0 {
+			k = 10
+		}
+		eps := q.Eps
+		if eps == 0 {
+			eps = soi.DefaultCellSize
+		}
+		qs[i] = soi.Query{Keywords: q.Keywords, K: k, Epsilon: eps}
+	}
+	results := s.engine.TopStreetsBatch(qs)
+	resp := batchResponse{Results: make([]batchEntry, len(results))}
+	for i, res := range results {
+		if res.Err != nil {
+			resp.Results[i] = batchEntry{Error: res.Err.Error()}
+			continue
+		}
+		streets := res.Streets
+		if streets == nil {
+			streets = []soi.Street{}
+		}
+		resp.Results[i] = batchEntry{Streets: streets}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) parseQuery(r *http.Request) (soi.Query, error) {

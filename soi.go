@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diversify"
+	"repro/internal/engine"
 	"repro/internal/geo"
 	"repro/internal/network"
 	"repro/internal/photo"
@@ -66,6 +67,12 @@ type Config struct {
 	// GridCellSize is the spatial index cell side; defaults to 0.0005
 	// (≈55 m at European latitudes), the paper's ε.
 	GridCellSize float64
+	// Workers bounds the number of k-SOI queries evaluated concurrently
+	// over the shared index; 0 means GOMAXPROCS.
+	Workers int
+	// CacheSize is the query result cache capacity; 0 means the engine
+	// default, negative disables caching.
+	CacheSize int
 }
 
 // DefaultCellSize is the grid cell side used when Config leaves it zero.
@@ -140,13 +147,16 @@ type Summary struct {
 }
 
 // Engine evaluates k-SOI and description queries over one dataset. It is
-// safe for concurrent use after construction.
+// safe for concurrent use after construction: all k-SOI traffic runs
+// through a shared parallel executor with a bounded worker pool and an
+// LRU result cache.
 type Engine struct {
 	net    *network.Network
 	pois   *poi.Corpus
 	photos *photo.Corpus
 	dict   *vocab.Dictionary
 	index  *core.Index
+	exec   *engine.Executor
 
 	graphOnce sync.Once
 	graph     *route.Graph
@@ -217,7 +227,8 @@ func newEngine(net *network.Network, pois *poi.Corpus, photos *photo.Corpus, dic
 	if err != nil {
 		return nil, fmt.Errorf("soi: building index: %w", err)
 	}
-	return &Engine{net: net, pois: pois, photos: photos, dict: dict, index: ix}, nil
+	exec := engine.New(ix, engine.Config{Workers: cfg.Workers, CacheSize: cfg.CacheSize})
+	return &Engine{net: net, pois: pois, photos: photos, dict: dict, index: ix, exec: exec}, nil
 }
 
 // Warm precomputes the ε-dependent index structures so that subsequent
@@ -235,18 +246,52 @@ func (e *Engine) NumPhotos() int { return e.photos.Len() }
 
 // TopStreets evaluates the k-SOI query with the SOI algorithm and returns
 // the ranked streets (highest interest first). Streets with zero interest
-// are omitted, so fewer than K results may return.
+// are omitted, so fewer than K results may return. Repeated queries are
+// served from the engine's result cache.
 func (e *Engine) TopStreets(q Query) ([]Street, error) {
-	res, _, err := e.index.SOI(core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon})
-	if err != nil {
-		return nil, err
+	res := e.exec.Do(core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon})
+	if res.Err != nil {
+		return nil, res.Err
 	}
+	return toStreets(res.Streets), nil
+}
+
+func toStreets(res []core.StreetResult) []Street {
 	out := make([]Street, len(res))
 	for i, r := range res {
 		out[i] = Street{Name: r.Name, Interest: r.Interest, Mass: r.Mass}
 	}
-	return out, nil
+	return out
 }
+
+// BatchResult is one entry of a TopStreetsBatch answer.
+type BatchResult struct {
+	Streets []Street
+	Err     error
+}
+
+// TopStreetsBatch evaluates many k-SOI queries concurrently over the
+// shared index with the engine's bounded worker pool, returning results
+// in input order. Each query succeeds or fails independently.
+func (e *Engine) TopStreetsBatch(qs []Query) []BatchResult {
+	cqs := make([]core.Query, len(qs))
+	for i, q := range qs {
+		cqs[i] = core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon}
+	}
+	results := e.exec.Batch(cqs)
+	out := make([]BatchResult, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			out[i] = BatchResult{Err: r.Err}
+			continue
+		}
+		out[i] = BatchResult{Streets: toStreets(r.Streets)}
+	}
+	return out
+}
+
+// QueryMetrics reports the engine's cumulative k-SOI executor counters.
+func (e *Engine) QueryMetrics() engine.Metrics { return e.exec.Metrics() }
 
 // TourStop is one street visit of a recommended tour.
 type TourStop struct {
@@ -271,10 +316,11 @@ type Tour struct {
 // within the given length budget (coordinate units), greedily maximizing
 // interest per walking distance.
 func (e *Engine) RecommendTour(q Query, budget float64) (Tour, error) {
-	res, _, err := e.index.SOI(core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon})
-	if err != nil {
-		return Tour{}, err
+	er := e.exec.Do(core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon})
+	if er.Err != nil {
+		return Tour{}, er.Err
 	}
+	res := er.Streets
 	if len(res) == 0 {
 		return Tour{}, errors.New("soi: no street matches the query")
 	}
