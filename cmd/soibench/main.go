@@ -8,9 +8,21 @@
 // Run one artifact at a reduced scale for a quick look:
 //
 //	soibench -exp fig4 -scale 0.1 -cities london
+//
+// Measure the parallel engine and capture its observability snapshot —
+// pruning counters, cache traffic, latency quantiles — alongside
+// throughput:
+//
+//	soibench -parallel 8 -queries 150 -stats
+//	soibench -stats -queries 50 -statsout BENCH_stats.json
+//
+// The -stats text output is deterministic in layout (sorted keys, fixed
+// float formatting), and -statsout writes the same snapshot as JSON for
+// trend tracking.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -18,7 +30,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/stats"
 )
 
 var validExps = []string{"table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "ablation", "weighted", "lcmsr", "all"}
@@ -32,18 +46,23 @@ func main() {
 		trials   = flag.Int("trials", 3, "timing repetitions per measurement (median reported)")
 		cities   = flag.String("cities", "london,berlin,vienna", "comma-separated subset of cities")
 		parallel = flag.Int("parallel", 0, "run the parallel query throughput benchmark with N workers and exit")
-		queries  = flag.Int("queries", 150, "workload size per city for -parallel")
+		queries  = flag.Int("queries", 150, "workload size per city for -parallel and -stats")
+		withStat = flag.Bool("stats", false, "run the workload through an instrumented engine and print the observability snapshot")
+		statsOut = flag.String("statsout", "", "write the -stats snapshot as JSON to this file (implies -stats)")
 	)
 	flag.Parse()
 
 	if *parallel < 0 {
 		log.Fatalf("-parallel needs a positive worker count, got %d", *parallel)
 	}
-	if *parallel > 0 {
+	if *statsOut != "" {
+		*withStat = true
+	}
+	if *parallel > 0 || *withStat {
 		if *queries <= 0 {
-			log.Fatalf("-queries needs a positive workload size, got %d", *queries)
+			log.Fatalf("-parallel and -stats need a positive -queries workload size, got %d", *queries)
 		}
-		if err := runParallel(*cities, *scale, *parallel, *queries); err != nil {
+		if err := runParallel(*cities, *scale, *parallel, *queries, *withStat, *statsOut); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -177,9 +196,14 @@ func main() {
 	fmt.Fprintf(out, "Done in %v.\n", time.Since(start).Round(time.Millisecond))
 }
 
-// runParallel measures batch-executor throughput against the sequential
-// loop on the default synthetic workload, per city.
-func runParallel(cities string, scale float64, workers, queries int) error {
+// runParallel measures the parallel engine on the default synthetic
+// workload, per city. With workers > 0 it benchmarks batch-executor
+// throughput against the sequential loop; with withStats it attaches an
+// observability recorder and prints each city's snapshot (sorted keys,
+// fixed float formatting, so the layout is golden-file stable). A
+// non-empty statsOut additionally writes every snapshot as one JSON
+// document for trend tracking across runs.
+func runParallel(cities string, scale float64, workers, queries int, withStats bool, statsOut string) error {
 	out := os.Stdout
 	start := time.Now()
 	fmt.Fprintf(out, "Loading cities (scale %g)...\n", scale)
@@ -188,19 +212,67 @@ func runParallel(cities string, scale float64, workers, queries int) error {
 		return err
 	}
 	fmt.Fprintf(out, "Loaded %d cities in %v.\n\n", len(citiesList), time.Since(start).Round(time.Millisecond))
+	artifact := statsArtifact{Scale: scale, Workers: workers, Queries: queries, Cities: map[string]stats.Snapshot{}}
 	for _, c := range citiesList {
-		res, err := experiments.ParallelBench(c, workers, queries)
-		if err != nil {
+		var rec *stats.Recorder
+		if withStats {
+			rec = stats.NewRecorder()
+		}
+		if workers > 0 {
+			res, err := experiments.ParallelBenchRecorded(c, workers, queries, rec)
+			if err != nil {
+				return err
+			}
+			experiments.PrintParallelBench(out, res)
+			fmt.Fprintln(out)
+			if !res.Identical {
+				return fmt.Errorf("parallel results diverged from sequential on %s", res.City)
+			}
+		} else {
+			// Stats-only run: evaluate the workload once through an
+			// instrumented executor, without the sequential baseline.
+			exec := engine.New(c.Index, engine.Config{CacheSize: -1, Recorder: rec})
+			for i, r := range exec.Batch(experiments.ParallelWorkload(queries)) {
+				if r.Err != nil {
+					return fmt.Errorf("stats query %d on %s: %w", i, c.Name(), r.Err)
+				}
+			}
+		}
+		if withStats {
+			snap := rec.Snapshot()
+			artifact.Cities[c.Name()] = snap
+			fmt.Fprintf(out, "Engine stats snapshot — %s (%d queries)\n", c.Name(), queries)
+			if err := snap.WriteText(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	if statsOut != "" {
+		if err := writeStatsArtifact(statsOut, artifact); err != nil {
 			return err
 		}
-		experiments.PrintParallelBench(out, res)
-		fmt.Fprintln(out)
-		if !res.Identical {
-			return fmt.Errorf("parallel results diverged from sequential on %s", res.City)
-		}
+		fmt.Fprintf(out, "Wrote stats snapshot to %s.\n", statsOut)
 	}
 	fmt.Fprintf(out, "Done in %v.\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// statsArtifact is the -statsout JSON document: one observability
+// snapshot per city plus the workload parameters that produced it.
+type statsArtifact struct {
+	Scale   float64                   `json:"scale"`
+	Workers int                       `json:"workers"`
+	Queries int                       `json:"queries"`
+	Cities  map[string]stats.Snapshot `json:"cities"`
+}
+
+func writeStatsArtifact(path string, a statsArtifact) error {
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func loadSelected(names string, scale float64) ([]*experiments.City, error) {

@@ -7,10 +7,12 @@
 //
 // Endpoints:
 //
-//	GET /api/stats
-//	GET /api/streets?keywords=shop&k=10&eps=0.0005
+//	GET /api/stats                 dataset summary + engine/runtime counters
+//	GET /api/streets?keywords=shop&k=10&eps=0.0005&trace=1
 //	GET /api/describe?street=Friedrichstraße&k=4
 //	GET /api/tour?keywords=shop&k=10&budget=0.05
+//	GET /metrics                   Prometheus text exposition
+//	GET /debug/pprof/              net/http/pprof profiles
 package main
 
 import (

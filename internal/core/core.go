@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/network"
+	"repro/internal/stats"
 	"repro/internal/vocab"
 )
 
@@ -65,6 +66,14 @@ type Stats struct {
 	CellAccesses int
 	// SegmentAccesses counts pops from source lists SL2 and SL3.
 	SegmentAccesses int
+	// SL2Accesses and SL3Accesses split SegmentAccesses by source list:
+	// finalizations driven by the cell-count order (SL2) versus the
+	// length order (SL3).
+	SL2Accesses int
+	SL3Accesses int
+	// FilterIterations counts iterations of the filter phase's UB/LBk
+	// loop (one bound comparison each).
+	FilterIterations int
 	// CellVisits counts UpdateInterest invocations that did work.
 	CellVisits int
 	// SegmentCacheHits counts segments whose exact mass was answered from
@@ -74,9 +83,37 @@ type Stats struct {
 	SegmentsSeen int
 	// SegmentsFinal counts segments whose exact interest was computed.
 	SegmentsFinal int
+	// RefineDrained counts segments finalized during the refinement
+	// phase — the "as necessary" exact-mass computations of Algorithm 1
+	// lines 25–28.
+	RefineDrained int
 	// TotalSegments and TotalCells size the search space.
 	TotalSegments int
 	TotalCells    int
+}
+
+// Record folds one evaluation's counters into a shared recorder. A nil
+// recorder is a no-op, so the disabled path costs a single branch per
+// query; the per-cell hot loops never touch an atomic.
+func (s Stats) Record(rec *stats.Recorder) {
+	if rec == nil {
+		return
+	}
+	c := &rec.Core
+	c.Evaluations.Add(1)
+	c.SL1CellsPopped.Add(int64(s.CellAccesses))
+	c.SL2SegmentsPopped.Add(int64(s.SL2Accesses))
+	c.SL3SegmentsPopped.Add(int64(s.SL3Accesses))
+	c.FilterIterations.Add(int64(s.FilterIterations))
+	c.CellVisits.Add(int64(s.CellVisits))
+	c.SegmentsSeen.Add(int64(s.SegmentsSeen))
+	c.SegmentsFinal.Add(int64(s.SegmentsFinal))
+	c.MassCacheHits.Add(int64(s.SegmentCacheHits))
+	c.MassCacheMisses.Add(int64(s.SegmentsFinal - s.SegmentCacheHits))
+	c.RefineDrained.Add(int64(s.RefineDrained))
+	c.BuildListsNanos.Add(s.BuildListsTime.Nanoseconds())
+	c.FilterNanos.Add(s.FilterTime.Nanoseconds())
+	c.RefineNanos.Add(s.RefineTime.Nanoseconds())
 }
 
 // Total returns the end-to-end evaluation time.

@@ -515,6 +515,7 @@ func (r *soiRun) filter() {
 		// exact ties at the k-th rank inside the seen set, so the result
 		// is a pure function of the query even when a shared MassCache
 		// changes how fast LBk rises.
+		r.stats.FilterIterations++
 		if ub := r.unseenUpperBound(); ub == 0 || ub < r.topk.Bound() {
 			return
 		}
@@ -540,6 +541,7 @@ func (r *soiRun) filter() {
 			if r.remainingCells(sid) > cheapCells {
 				break
 			}
+			r.stats.SL3Accesses++
 			r.finalizeSegment(sid)
 			r.p3++
 			r.p3 = r.skipFinal(r.sl3, r.p3)
@@ -548,6 +550,7 @@ func (r *soiRun) filter() {
 		// outlier in neighboring-cell count, shrinking top(SL2).
 		r.p2 = r.skipFinal(r.sl2, r.p2)
 		if r.p2 < len(r.sl2) && len(r.segCells[r.sl2[r.p2]]) >= monsterCells {
+			r.stats.SL2Accesses++
 			r.finalizeSegment(r.sl2[r.p2])
 			r.p2++
 		}
@@ -563,6 +566,7 @@ func (r *soiRun) filterRoundRobin() {
 	for {
 		// Strict stop, as in the cost-aware schedule: ties at the k-th
 		// rank must be seen before the filter may stop.
+		r.stats.FilterIterations++
 		if ub := r.unseenUpperBound(); ub == 0 || ub < r.topk.Bound() {
 			return
 		}
@@ -581,12 +585,14 @@ func (r *soiRun) filterRoundRobin() {
 		case 1:
 			r.p2 = r.skipFinal(r.sl2, r.p2)
 			if r.p2 < len(r.sl2) {
+				r.stats.SL2Accesses++
 				r.finalizeSegment(r.sl2[r.p2])
 				r.p2++
 			}
 		default:
 			r.p3 = r.skipFinal(r.sl3, r.p3)
 			if r.p3 < len(r.sl3) {
+				r.stats.SL3Accesses++
 				r.finalizeSegment(r.sl3[r.p3])
 				r.p3++
 			}
@@ -689,6 +695,7 @@ func (r *soiRun) refine() []StreetResult {
 		}
 		st := &r.states[c.sid]
 		if !st.final {
+			r.stats.RefineDrained++
 			r.drainSegment(c.sid)
 		}
 		if st.mass <= 0 {

@@ -6,17 +6,38 @@ import (
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/stats"
 )
 
 // Stats records the work performed by one summary construction.
 type Stats struct {
 	Elapsed time.Duration
+	// Iterations counts greedy MMR selection rounds (one per selected
+	// photo).
+	Iterations int
 	// PhotosEvaluated counts exact mmr computations.
 	PhotosEvaluated int
 	// CellsExamined counts cells whose bounds were computed.
 	CellsExamined int
 	// CellsPruned counts cells discarded by the bound tests.
 	CellsPruned int
+}
+
+// Record folds one summary construction into a shared recorder;
+// candidates is |Rs|, the street's candidate photo pool size. A nil
+// recorder is a no-op.
+func (s Stats) Record(rec *stats.Recorder, candidates int) {
+	if rec == nil {
+		return
+	}
+	d := &rec.Diversify
+	d.Summaries.Add(1)
+	d.Iterations.Add(int64(s.Iterations))
+	d.CandidatePhotos.Add(int64(candidates))
+	d.PhotosEvaluated.Add(int64(s.PhotosEvaluated))
+	d.CellsExamined.Add(int64(s.CellsExamined))
+	d.CellsPruned.Add(int64(s.CellsPruned))
+	d.SummaryNanos.Add(s.Elapsed.Nanoseconds())
 }
 
 // Result is a constructed photo summary.
@@ -61,6 +82,7 @@ func (c *Context) STRelDiv(p Params) (Result, error) {
 		k = len(c.photos)
 	}
 	for len(selected) < k {
+		stats.Iterations++
 		// Filtering phase: bound the mmr of every cell with candidates.
 		bounds := make([]cellBound, 0, len(cells))
 		mmrMin := math.Inf(-1)
@@ -190,6 +212,7 @@ func (c *Context) Baseline(p Params) (Result, error) {
 		k = len(c.photos)
 	}
 	for len(selected) < k {
+		stats.Iterations++
 		best := -1
 		bestVal := math.Inf(-1)
 		for i := range c.photos {

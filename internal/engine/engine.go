@@ -25,8 +25,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 	"repro/internal/vocab"
 )
 
@@ -46,6 +48,12 @@ type Config struct {
 	MassCacheEntries int
 	// Strategy is the source-list access strategy used for every query.
 	Strategy core.Strategy
+	// Recorder, when non-nil, receives cumulative observability counters
+	// and latency histograms: cache traffic, worker-pool pressure,
+	// per-query wall time, and the folded Algorithm 1 pruning counters of
+	// every evaluation. A nil recorder disables recording at the cost of
+	// one branch per query.
+	Recorder *stats.Recorder
 }
 
 // DefaultCacheSize is the LRU capacity used when Config leaves it zero.
@@ -87,6 +95,7 @@ type Executor struct {
 
 	cache *lruCache       // nil when result caching is disabled
 	mass  *core.MassCache // nil when mass sharing is disabled
+	rec   *stats.Recorder // nil when observability recording is disabled
 
 	flightMu sync.Mutex
 	flight   map[string]*flight
@@ -115,6 +124,7 @@ func New(ix *core.Index, cfg Config) *Executor {
 		strat:   cfg.Strategy,
 		sem:     make(chan struct{}, workers),
 		flight:  make(map[string]*flight),
+		rec:     cfg.Recorder,
 	}
 	switch {
 	case cfg.CacheSize == 0:
@@ -133,6 +143,10 @@ func (e *Executor) Index() *core.Index { return e.ix }
 
 // Workers returns the worker-pool bound.
 func (e *Executor) Workers() int { return e.workers }
+
+// Recorder returns the executor's observability recorder (nil when
+// recording is disabled).
+func (e *Executor) Recorder() *stats.Recorder { return e.rec }
 
 // Metrics returns a snapshot of the cumulative counters.
 func (e *Executor) Metrics() Metrics {
@@ -160,6 +174,9 @@ func (e *Executor) Invalidate() {
 // Err set, mirroring core.Index.SOI.
 func (e *Executor) Do(q core.Query) Result {
 	e.queries.Add(1)
+	if e.rec != nil {
+		e.rec.Engine.Queries.Add(1)
+	}
 	if err := q.Validate(); err != nil {
 		// Invalid queries are not cached: the error is cheaper to
 		// recompute than a cache slot.
@@ -175,8 +192,14 @@ func (e *Executor) eval(q core.Query) Result {
 	if e.cache != nil {
 		if res, ok := e.cache.get(key); ok {
 			e.cacheHits.Add(1)
+			if e.rec != nil {
+				e.rec.Engine.ResultCacheHits.Add(1)
+			}
 			res.Cached = true
 			return res
+		}
+		if e.rec != nil {
+			e.rec.Engine.ResultCacheMisses.Add(1)
 		}
 	}
 	e.flightMu.Lock()
@@ -184,6 +207,9 @@ func (e *Executor) eval(q core.Query) Result {
 		e.flightMu.Unlock()
 		<-f.done
 		e.dedupHits.Add(1)
+		if e.rec != nil {
+			e.rec.Engine.DedupJoins.Add(1)
+		}
 		res := f.res
 		res.Cached = true
 		return res
@@ -192,13 +218,9 @@ func (e *Executor) eval(q core.Query) Result {
 	e.flight[key] = f
 	e.flightMu.Unlock()
 
-	// The semaphore bounds concurrent evaluations engine-wide, covering
-	// both Batch workers and direct Do callers (e.g. HTTP handlers).
-	e.sem <- struct{}{}
 	e.evaluations.Add(1)
-	streets, stats, err := e.ix.SOIWithCache(q, e.strat, e.mass)
-	<-e.sem
-	f.res = Result{Streets: streets, Stats: stats, Err: err}
+	streets, st, err := e.evaluate(q)
+	f.res = Result{Streets: streets, Stats: st, Err: err}
 	if err == nil && e.cache != nil {
 		e.cache.put(key, f.res)
 	}
@@ -207,6 +229,41 @@ func (e *Executor) eval(q core.Query) Result {
 	e.flightMu.Unlock()
 	close(f.done)
 	return f.res
+}
+
+// evaluate runs one SOI evaluation under the worker-pool semaphore,
+// which bounds concurrent evaluations engine-wide, covering both Batch
+// workers and direct Do callers (e.g. HTTP handlers). With a recorder
+// attached it additionally observes queue depth, queue wait, in-flight
+// count, evaluation wall time and the run's pruning counters; the
+// nil-recorder path performs no time syscalls beyond the evaluation
+// itself.
+func (e *Executor) evaluate(q core.Query) ([]core.StreetResult, core.Stats, error) {
+	rec := e.rec
+	if rec == nil {
+		e.sem <- struct{}{}
+		streets, st, err := e.ix.SOIWithCache(q, e.strat, e.mass)
+		<-e.sem
+		return streets, st, err
+	}
+	depth := rec.Engine.QueueDepth.Add(1)
+	rec.Engine.PeakQueueDepth.SetMax(depth)
+	waitStart := time.Now()
+	e.sem <- struct{}{}
+	rec.Engine.QueueDepth.Add(-1)
+	rec.Engine.QueueWait.Observe(time.Since(waitStart))
+	inFlight := rec.Engine.InFlight.Add(1)
+	rec.Engine.PeakInFlight.SetMax(inFlight)
+	start := time.Now()
+	streets, st, err := e.ix.SOIWithCache(q, e.strat, e.mass)
+	elapsed := time.Since(start)
+	rec.Engine.InFlight.Add(-1)
+	<-e.sem
+	rec.Engine.Evaluations.Add(1)
+	rec.Engine.BusyNanos.Add(elapsed.Nanoseconds())
+	rec.Engine.QueryLatency.Observe(elapsed)
+	st.Record(rec)
+	return streets, st, err
 }
 
 // Batch evaluates the queries concurrently over the shared index with at
@@ -226,6 +283,11 @@ func (e *Executor) Batch(qs []core.Query) []Result {
 	}
 	groups := make(map[string]*group, len(qs))
 	var order []string
+	if e.rec != nil {
+		e.rec.Engine.BatchRequests.Add(1)
+		e.rec.Engine.BatchQueries.Add(int64(len(qs)))
+		e.rec.Engine.Queries.Add(int64(len(qs)))
+	}
 	for i, q := range qs {
 		e.queries.Add(1)
 		if err := q.Validate(); err != nil {
@@ -242,6 +304,9 @@ func (e *Executor) Batch(qs []core.Query) []Result {
 			g.rep.K = q.K
 		}
 		g.members = append(g.members, i)
+	}
+	if e.rec != nil {
+		e.rec.Engine.BatchGroups.Add(int64(len(order)))
 	}
 	workers := e.workers
 	if workers > len(order) {

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// TestRecorderCounters runs a deterministic sequence through a recorded
+// executor and checks the observability counters against exactly known
+// traffic: one evaluation, one result-cache hit, one batch.
+func TestRecorderCounters(t *testing.T) {
+	ix := buildIndex(t)
+	rec := stats.NewRecorder()
+	e := New(ix, Config{Recorder: rec})
+	if e.Recorder() != rec {
+		t.Fatal("Recorder() does not return the configured recorder")
+	}
+	q := testQueries()[0]
+	if res := e.Do(q); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res := e.Do(q); res.Err != nil || !res.Cached {
+		t.Fatalf("repeat query: cached=%v err=%v", res.Cached, res.Err)
+	}
+	for _, r := range e.Batch(testQueries()[1:3]) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+
+	s := rec.Snapshot().Engine
+	if s.Queries != 4 {
+		t.Errorf("queries = %d, want 4", s.Queries)
+	}
+	if s.ResultCacheHits != 1 || s.ResultCacheMisses != 3 {
+		t.Errorf("result cache hits/misses = %d/%d, want 1/3", s.ResultCacheHits, s.ResultCacheMisses)
+	}
+	if s.Evaluations != 3 {
+		t.Errorf("evaluations = %d, want 3", s.Evaluations)
+	}
+	if s.BatchRequests != 1 || s.BatchQueries != 2 || s.BatchGroups != 2 {
+		t.Errorf("batch = %d requests / %d queries / %d groups, want 1/2/2",
+			s.BatchRequests, s.BatchQueries, s.BatchGroups)
+	}
+	if s.QueryLatency.Count != 3 {
+		t.Errorf("latency observations = %d, want 3", s.QueryLatency.Count)
+	}
+	if s.InFlight != 0 || s.QueueDepth != 0 {
+		t.Errorf("idle gauges in_flight=%d queue_depth=%d, want 0/0", s.InFlight, s.QueueDepth)
+	}
+	if s.PeakInFlight < 1 {
+		t.Errorf("peak in-flight = %d, want ≥ 1", s.PeakInFlight)
+	}
+	if s.BusyNanos <= 0 {
+		t.Errorf("busy time = %d ns, want > 0", s.BusyNanos)
+	}
+	c := rec.Snapshot().Core
+	if c.Evaluations != 3 {
+		t.Errorf("core evaluations = %d, want 3", c.Evaluations)
+	}
+	if c.SL1CellsPopped == 0 || c.SegmentsFinal == 0 {
+		t.Errorf("core counters carry no work: %+v", c)
+	}
+}
+
+// TestRecorderConcurrent folds many concurrent evaluations through one
+// recorder; under -race this is the proof the recording points are
+// race-clean, and the query count must still be exact.
+func TestRecorderConcurrent(t *testing.T) {
+	ix := buildIndex(t)
+	rec := stats.NewRecorder()
+	e := New(ix, Config{Workers: 4, CacheSize: -1, Recorder: rec})
+	queries := testQueries()
+	const rounds = 20
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			wg.Add(1)
+			go func(q core.Query) {
+				defer wg.Done()
+				if res := e.Do(q); res.Err != nil {
+					t.Error(res.Err)
+				}
+			}(q)
+		}
+	}
+	wg.Wait()
+	s := rec.Snapshot().Engine
+	total := int64(rounds * len(queries))
+	if s.Queries != total {
+		t.Errorf("queries = %d, want %d", s.Queries, total)
+	}
+	// Every query either ran or joined an identical in-flight run; the
+	// cache is disabled so nothing is answered without an evaluation.
+	if s.Evaluations+s.DedupJoins != total {
+		t.Errorf("evaluations %d + dedup joins %d ≠ %d queries", s.Evaluations, s.DedupJoins, total)
+	}
+	if s.QueryLatency.Count != s.Evaluations {
+		t.Errorf("latency observations = %d, want one per evaluation %d", s.QueryLatency.Count, s.Evaluations)
+	}
+	if s.InFlight != 0 || s.QueueDepth != 0 {
+		t.Errorf("idle gauges in_flight=%d queue_depth=%d, want 0/0", s.InFlight, s.QueueDepth)
+	}
+	if s.PeakInFlight > 4 {
+		t.Errorf("peak in-flight = %d exceeds worker bound 4", s.PeakInFlight)
+	}
+}

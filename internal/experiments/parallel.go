@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/stats"
 )
 
 // ParallelResult reports one parallel-throughput measurement: the same
@@ -83,6 +84,14 @@ func ParallelWorkload(n int) []core.Query {
 // comes from concurrent evaluation plus the executor's cross-query mass
 // sharing over the one shared index.
 func ParallelBench(c *City, workers, n int) (ParallelResult, error) {
+	return ParallelBenchRecorded(c, workers, n, nil)
+}
+
+// ParallelBenchRecorded is ParallelBench with an optional observability
+// recorder attached to the parallel executor, so a benchmark run
+// captures the engine's pruning and latency counters alongside
+// throughput. The sequential baseline loop is never recorded.
+func ParallelBenchRecorded(c *City, workers, n int, rec *stats.Recorder) (ParallelResult, error) {
 	queries := ParallelWorkload(n)
 	res := ParallelResult{City: c.Name(), Workers: workers, Queries: len(queries)}
 
@@ -97,7 +106,7 @@ func ParallelBench(c *City, workers, n int) (ParallelResult, error) {
 	}
 	res.Sequential = time.Since(start)
 
-	exec := engine.New(c.Index, engine.Config{Workers: workers, CacheSize: -1})
+	exec := engine.New(c.Index, engine.Config{Workers: workers, CacheSize: -1, Recorder: rec})
 	start = time.Now()
 	par := exec.Batch(queries)
 	res.Parallel = time.Since(start)

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diversify"
-	"repro/internal/metrics"
+	"repro/internal/stats"
 )
 
 // Table1Row is one dataset statistics row (paper Table 1).
@@ -79,7 +79,7 @@ func Table2(c *City, k int) (Table2Result, error) {
 		out.TopK = append(out.TopK, r.Name)
 	}
 	for i, src := range out.Sources {
-		out.Recall[i] = metrics.RecallAtK(out.TopK, src, k)
+		out.Recall[i] = stats.RecallAtK(out.TopK, src, k)
 	}
 	grades := map[string]float64{}
 	for rank, site := range c.Dataset.Profile.ShopSites {
@@ -88,8 +88,8 @@ func Table2(c *City, k int) (Table2Result, error) {
 			grades[s] = site.Density
 		}
 	}
-	out.NDCG = metrics.NDCGAtK(out.TopK, grades, k)
-	out.Tau = metrics.KendallTau(out.TopK, c.Dataset.Truth.ShoppingStreets)
+	out.NDCG = stats.NDCGAtK(out.TopK, grades, k)
+	out.Tau = stats.KendallTau(out.TopK, c.Dataset.Truth.ShoppingStreets)
 	return out, nil
 }
 

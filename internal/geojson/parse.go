@@ -1,0 +1,111 @@
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Parse decodes a GeoJSON FeatureCollection — the inverse of Write. It
+// validates the structural contract this package emits: the root type,
+// per-feature types, and geometry coordinate nesting per geometry kind
+// (Point, LineString, MultiLineString). Coordinates are rebuilt as typed
+// float slices, so writing a parsed collection produces canonical output:
+// for any accepted input, write∘parse is idempotent.
+func Parse(data []byte) (*FeatureCollection, error) {
+	var fc FeatureCollection
+	if err := json.Unmarshal(data, &fc); err != nil {
+		return nil, fmt.Errorf("geojson: %w", err)
+	}
+	if fc.Type != "FeatureCollection" {
+		return nil, fmt.Errorf("geojson: root type %q, want FeatureCollection", fc.Type)
+	}
+	if fc.Features == nil {
+		fc.Features = []Feature{}
+	}
+	for i := range fc.Features {
+		f := &fc.Features[i]
+		if f.Type != "Feature" {
+			return nil, fmt.Errorf("geojson: feature %d: type %q, want Feature", i, f.Type)
+		}
+		coords, err := parseCoordinates(f.Geometry.Type, f.Geometry.Coordinates)
+		if err != nil {
+			return nil, fmt.Errorf("geojson: feature %d: %w", i, err)
+		}
+		f.Geometry.Coordinates = coords
+	}
+	return &fc, nil
+}
+
+// parseCoordinates validates and retypes a geometry's coordinate nesting.
+func parseCoordinates(geomType string, raw interface{}) (interface{}, error) {
+	switch geomType {
+	case "Point":
+		return parsePosition(raw)
+	case "LineString":
+		return parseLine(raw)
+	case "MultiLineString":
+		list, ok := raw.([]interface{})
+		if !ok {
+			return nil, fmt.Errorf("MultiLineString coordinates are %T, want array", raw)
+		}
+		if len(list) == 0 {
+			return nil, fmt.Errorf("MultiLineString has no lines")
+		}
+		lines := make([][][]float64, len(list))
+		for i, el := range list {
+			line, err := parseLine(el)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", i, err)
+			}
+			lines[i] = line
+		}
+		return lines, nil
+	default:
+		return nil, fmt.Errorf("unsupported geometry type %q", geomType)
+	}
+}
+
+// parseLine validates a LineString coordinate array: at least two
+// positions, each a finite [x, y] pair.
+func parseLine(raw interface{}) ([][]float64, error) {
+	list, ok := raw.([]interface{})
+	if !ok {
+		return nil, fmt.Errorf("LineString coordinates are %T, want array", raw)
+	}
+	if len(list) < 2 {
+		return nil, fmt.Errorf("LineString has %d positions, want ≥ 2", len(list))
+	}
+	line := make([][]float64, len(list))
+	for i, el := range list {
+		pos, err := parsePosition(el)
+		if err != nil {
+			return nil, fmt.Errorf("position %d: %w", i, err)
+		}
+		line[i] = pos
+	}
+	return line, nil
+}
+
+// parsePosition validates one [x, y] position with finite coordinates.
+func parsePosition(raw interface{}) ([]float64, error) {
+	list, ok := raw.([]interface{})
+	if !ok {
+		return nil, fmt.Errorf("position is %T, want [x, y]", raw)
+	}
+	if len(list) != 2 {
+		return nil, fmt.Errorf("position has %d components, want 2", len(list))
+	}
+	pos := make([]float64, 2)
+	for i, el := range list {
+		v, ok := el.(float64)
+		if !ok {
+			return nil, fmt.Errorf("coordinate %d is %T, want number", i, el)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("coordinate %d is not finite", i)
+		}
+		pos[i] = v
+	}
+	return pos, nil
+}

@@ -1,0 +1,138 @@
+package geojson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	fc := NewCollection()
+	fc.Features = append(fc.Features,
+		Feature{
+			Type:     "Feature",
+			Geometry: Geometry{Type: "Point", Coordinates: []float64{1.5, -2.25}},
+			Properties: map[string]interface{}{
+				"kind": "summary-photo", "order": 1, "tags": []string{"a", "b"},
+			},
+		},
+		Feature{
+			Type:     "Feature",
+			Geometry: Geometry{Type: "LineString", Coordinates: [][]float64{{0, 0}, {1, 0}, {1, 1}}},
+			Properties: map[string]interface{}{
+				"kind": "street-of-interest", "interest": 0.75,
+			},
+		},
+		Feature{
+			Type:     "Feature",
+			Geometry: Geometry{Type: "MultiLineString", Coordinates: [][][]float64{{{0, 0}, {1, 1}}, {{2, 2}, {3, 3}}}},
+			Properties: map[string]interface{}{
+				"kind": "tour-walk",
+			},
+		},
+	)
+	var w1 bytes.Buffer
+	if err := fc.Write(&w1); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(w1.Bytes())
+	if err != nil {
+		t.Fatalf("Parse of written collection: %v", err)
+	}
+	if len(parsed.Features) != 3 {
+		t.Fatalf("features = %d, want 3", len(parsed.Features))
+	}
+	pt := parsed.Features[0].Geometry.Coordinates.([]float64)
+	if pt[0] != 1.5 || pt[1] != -2.25 {
+		t.Fatalf("point = %v", pt)
+	}
+	line := parsed.Features[1].Geometry.Coordinates.([][]float64)
+	if len(line) != 3 || line[2][1] != 1 {
+		t.Fatalf("line = %v", line)
+	}
+	multi := parsed.Features[2].Geometry.Coordinates.([][][]float64)
+	if len(multi) != 2 || multi[1][0][0] != 2 {
+		t.Fatalf("multi = %v", multi)
+	}
+	var w2 bytes.Buffer
+	if err := parsed.Write(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatalf("write∘parse not idempotent:\nfirst:  %s\nsecond: %s", w1.Bytes(), w2.Bytes())
+	}
+}
+
+func TestParseEmptyCollection(t *testing.T) {
+	fc, err := Parse([]byte(`{"type":"FeatureCollection"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Features == nil {
+		t.Fatal("Features = nil, want empty slice (Write must emit [], not null)")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in, errSubstr string
+	}{
+		{"not JSON", `{`, "unexpected end"},
+		{"wrong root type", `{"type":"Feature","features":[]}`, "root type"},
+		{"wrong feature type", `{"type":"FeatureCollection","features":[{"type":"Nope","geometry":{"type":"Point","coordinates":[0,0]}}]}`, "want Feature"},
+		{"unknown geometry", `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Polygon","coordinates":[]}}]}`, "unsupported geometry"},
+		{"point too short", `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Point","coordinates":[1]}}]}`, "components"},
+		{"point non-number", `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Point","coordinates":[1,"a"]}}]}`, "want number"},
+		{"point not array", `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Point","coordinates":7}}]}`, "want [x, y]"},
+		{"line one position", `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0]]}}]}`, "want ≥ 2"},
+		{"multi empty", `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"MultiLineString","coordinates":[]}}]}`, "no lines"},
+		{"multi bad line", `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"MultiLineString","coordinates":[[[0,0]]]}}]}`, "want ≥ 2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse([]byte(c.in))
+			if err == nil {
+				t.Fatal("Parse accepted invalid input")
+			}
+			if !strings.Contains(err.Error(), c.errSubstr) {
+				t.Fatalf("error = %q, want substring %q", err, c.errSubstr)
+			}
+		})
+	}
+}
+
+// FuzzParse holds the same property as the dataio fuzz targets: any
+// input Parse accepts must canonicalize. Writing the parsed collection
+// must succeed, the output must parse again, and a second write must
+// reproduce the first byte-for-byte.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"type":"FeatureCollection","features":[]}`))
+	f.Add([]byte(`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Point","coordinates":[1.5,-2.25]},"properties":{"kind":"summary-photo","order":1}}]}`))
+	f.Add([]byte(`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0],[1e-3,2]]},"properties":null}]}`))
+	f.Add([]byte(`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"MultiLineString","coordinates":[[[0,0],[1,1]]]},"properties":{"length":0.5}}]}`))
+	f.Add([]byte(`{"type":"Nope"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fc, err := Parse(data)
+		if err != nil {
+			t.Skip()
+		}
+		var w1 bytes.Buffer
+		if err := fc.Write(&w1); err != nil {
+			t.Fatalf("write of accepted collection failed: %v", err)
+		}
+		fc2, err := Parse(w1.Bytes())
+		if err != nil {
+			t.Fatalf("re-parse of written collection failed: %v\n%s", err, w1.Bytes())
+		}
+		if len(fc2.Features) != len(fc.Features) {
+			t.Fatalf("round-trip changed feature count: %d → %d", len(fc.Features), len(fc2.Features))
+		}
+		var w2 bytes.Buffer
+		if err := fc2.Write(&w2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatalf("write not idempotent:\nfirst:  %s\nsecond: %s", w1.Bytes(), w2.Bytes())
+		}
+	})
+}

@@ -4,15 +4,25 @@
 //
 // Endpoints (all GET, all JSON):
 //
-//	/api/stats                         dataset summary
-//	/api/streets?keywords=a,b&k=10&eps=0.0005
+//	/api/stats                         dataset summary + engine/runtime observability counters
+//	/api/streets?keywords=a,b&k=10&eps=0.0005[&trace=1]
 //	/api/describe?street=NAME&k=4&lambda=0.5&w=0.5&rho=0.0001&eps=0.0005
 //	/api/tour?keywords=a,b&k=10&eps=0.0005&budget=0.05
 //
 // plus one POST endpoint evaluating many k-SOI queries concurrently over
 // the shared index:
 //
-//	/api/streets/batch                 {"queries":[{"keywords":["a"],"k":10,"eps":0.0005}, ...]}
+//	/api/streets/batch[?trace=1]       {"queries":[{"keywords":["a"],"k":10,"eps":0.0005}, ...]}
+//
+// With trace=1 every k-SOI answer carries a per-stage trace: the phase
+// timings of the paper's Figure 4 and the accessed-cell/segment counts
+// of its Section 6 measurements.
+//
+// Observability is additionally exposed in scraper- and profiler-native
+// forms:
+//
+//	/metrics                           Prometheus text exposition (soi_* namespace)
+//	/debug/pprof/                      net/http/pprof profiles
 //
 // Handlers run concurrently (one goroutine per request, per net/http)
 // against one shared engine; the engine's executor bounds how many k-SOI
@@ -24,10 +34,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"strings"
 
 	soi "repro"
+	"repro/internal/stats"
 )
 
 // Server routes HTTP requests to an Engine.
@@ -44,6 +57,14 @@ func New(engine *soi.Engine) *Server {
 	s.mux.HandleFunc("/api/streets/batch", s.handleStreetsBatch)
 	s.mux.HandleFunc("/api/describe", s.handleDescribe)
 	s.mux.HandleFunc("/api/tour", s.handleTour)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	// net/http/pprof registers on the default mux; mirror its handlers
+	// here so profiles are reachable through this server's mux too.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
 
@@ -110,11 +131,38 @@ func queryKeywords(r *http.Request) []string {
 	return out
 }
 
-// statsResponse is the /api/stats payload.
+// statsResponse is the /api/stats payload. The top-level dataset keys
+// (streets, pois, photos) are a stable contract; the stats and runtime
+// sections carry the live observability counters.
 type statsResponse struct {
-	Streets int `json:"streets"`
-	POIs    int `json:"pois"`
-	Photos  int `json:"photos"`
+	Streets int             `json:"streets"`
+	POIs    int             `json:"pois"`
+	Photos  int             `json:"photos"`
+	Stats   stats.Snapshot  `json:"stats"`
+	Runtime runtimeSnapshot `json:"runtime"`
+}
+
+// runtimeSnapshot is the Go runtime section of /api/stats.
+type runtimeSnapshot struct {
+	Goroutines     int    `json:"goroutines"`
+	GOMAXPROCS     int    `json:"gomaxprocs"`
+	NumCPU         int    `json:"num_cpu"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	NumGC          uint32 `json:"num_gc"`
+}
+
+func readRuntime() runtimeSnapshot {
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	return runtimeSnapshot{
+		Goroutines:     runtime.NumGoroutine(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		HeapAllocBytes: mem.HeapAlloc,
+		HeapSysBytes:   mem.HeapSys,
+		NumGC:          mem.NumGC,
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -126,12 +174,44 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Streets: s.engine.NumStreets(),
 		POIs:    s.engine.NumPOIs(),
 		Photos:  s.engine.NumPhotos(),
+		Stats:   s.engine.StatsSnapshot(),
+		Runtime: readRuntime(),
 	})
 }
 
-// streetsResponse is the /api/streets payload.
+// handleMetrics serves the Prometheus text exposition: every recorder
+// counter and histogram under the soi_ namespace plus a few Go runtime
+// gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Exposition errors past the first byte cannot be reported; scrapers
+	// detect truncation themselves.
+	_ = s.engine.StatsSnapshot().WritePrometheus(w)
+	rt := readRuntime()
+	fmt.Fprintf(w, "# TYPE soi_runtime_goroutines gauge\nsoi_runtime_goroutines %d\n", rt.Goroutines)
+	fmt.Fprintf(w, "# TYPE soi_runtime_gomaxprocs gauge\nsoi_runtime_gomaxprocs %d\n", rt.GOMAXPROCS)
+	fmt.Fprintf(w, "# TYPE soi_runtime_heap_alloc_bytes gauge\nsoi_runtime_heap_alloc_bytes %d\n", rt.HeapAllocBytes)
+	fmt.Fprintf(w, "# TYPE soi_runtime_num_gc_total counter\nsoi_runtime_num_gc_total %d\n", rt.NumGC)
+}
+
+// streetsResponse is the /api/streets payload; Trace is present only
+// when the request asked for it with trace=1.
 type streetsResponse struct {
-	Streets []soi.Street `json:"streets"`
+	Streets []soi.Street    `json:"streets"`
+	Trace   *soi.QueryTrace `json:"trace,omitempty"`
+}
+
+// traceWanted reports whether the request opted into per-query traces.
+func traceWanted(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "", "0", "false":
+		return false
+	}
+	return true
 }
 
 func (s *Server) handleStreets(w http.ResponseWriter, r *http.Request) {
@@ -144,15 +224,26 @@ func (s *Server) handleStreets(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.engine.TopStreets(q)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+	resp := streetsResponse{}
+	if traceWanted(r) {
+		res, trace, err := s.engine.TopStreetsTraced(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.Streets, resp.Trace = res, &trace
+	} else {
+		res, err := s.engine.TopStreets(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.Streets = res
 	}
-	if res == nil {
-		res = []soi.Street{}
+	if resp.Streets == nil {
+		resp.Streets = []soi.Street{}
 	}
-	writeJSON(w, http.StatusOK, streetsResponse{Streets: res})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // batchRequest is the /api/streets/batch request payload.
@@ -180,6 +271,9 @@ type batchEntry struct {
 	// streets" from a failure.
 	Streets []soi.Street `json:"streets"`
 	Error   string       `json:"error,omitempty"`
+	// Trace is present when the request asked for trace=1; coalesced
+	// queries share the trace of their one evaluation.
+	Trace *soi.QueryTrace `json:"trace,omitempty"`
 }
 
 // maxBatchQueries caps one batch request; larger workloads should be
@@ -216,6 +310,7 @@ func (s *Server) handleStreetsBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		qs[i] = soi.Query{Keywords: q.Keywords, K: k, Epsilon: eps}
 	}
+	withTrace := traceWanted(r)
 	results := s.engine.TopStreetsBatch(qs)
 	resp := batchResponse{Results: make([]batchEntry, len(results))}
 	for i, res := range results {
@@ -228,6 +323,10 @@ func (s *Server) handleStreetsBatch(w http.ResponseWriter, r *http.Request) {
 			streets = []soi.Street{}
 		}
 		resp.Results[i] = batchEntry{Streets: streets}
+		if withTrace {
+			trace := res.Trace
+			resp.Results[i].Trace = &trace
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

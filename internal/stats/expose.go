@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file renders a Snapshot in the two textual exposition formats the
+// system serves: Prometheus text exposition (for /metrics scrapers) and
+// a flat sorted key/value listing (for soibench -stats and golden-file
+// tests). Both renderings are deterministic: keys are emitted in sorted
+// order and every float uses a fixed formatting, so two snapshots with
+// equal counters produce byte-identical output.
+
+// counterRows returns every counter of the snapshot as ⟨name, value,
+// isGauge⟩ rows, name in prometheus snake_case without the soi_ prefix.
+func (s Snapshot) counterRows() []counterRow {
+	return []counterRow{
+		{"core_evaluations", s.Core.Evaluations, false},
+		{"core_sl1_cells_popped", s.Core.SL1CellsPopped, false},
+		{"core_sl2_segments_popped", s.Core.SL2SegmentsPopped, false},
+		{"core_sl3_segments_popped", s.Core.SL3SegmentsPopped, false},
+		{"core_filter_iterations", s.Core.FilterIterations, false},
+		{"core_cell_visits", s.Core.CellVisits, false},
+		{"core_segments_seen", s.Core.SegmentsSeen, false},
+		{"core_segments_final", s.Core.SegmentsFinal, false},
+		{"core_mass_cache_hits", s.Core.MassCacheHits, false},
+		{"core_mass_cache_misses", s.Core.MassCacheMisses, false},
+		{"core_refine_drained", s.Core.RefineDrained, false},
+		{"core_build_lists_ns", s.Core.BuildListsNanos, false},
+		{"core_filter_ns", s.Core.FilterNanos, false},
+		{"core_refine_ns", s.Core.RefineNanos, false},
+		{"engine_queries", s.Engine.Queries, false},
+		{"engine_result_cache_hits", s.Engine.ResultCacheHits, false},
+		{"engine_result_cache_misses", s.Engine.ResultCacheMisses, false},
+		{"engine_dedup_joins", s.Engine.DedupJoins, false},
+		{"engine_evaluations", s.Engine.Evaluations, false},
+		{"engine_batch_requests", s.Engine.BatchRequests, false},
+		{"engine_batch_queries", s.Engine.BatchQueries, false},
+		{"engine_batch_groups", s.Engine.BatchGroups, false},
+		{"engine_in_flight", s.Engine.InFlight, true},
+		{"engine_peak_in_flight", s.Engine.PeakInFlight, true},
+		{"engine_queue_depth", s.Engine.QueueDepth, true},
+		{"engine_peak_queue_depth", s.Engine.PeakQueueDepth, true},
+		{"engine_busy_ns", s.Engine.BusyNanos, false},
+		{"diversify_summaries", s.Diversify.Summaries, false},
+		{"diversify_iterations", s.Diversify.Iterations, false},
+		{"diversify_candidate_photos", s.Diversify.CandidatePhotos, false},
+		{"diversify_photos_evaluated", s.Diversify.PhotosEvaluated, false},
+		{"diversify_cells_examined", s.Diversify.CellsExamined, false},
+		{"diversify_cells_pruned", s.Diversify.CellsPruned, false},
+		{"diversify_summary_ns", s.Diversify.SummaryNanos, false},
+	}
+}
+
+type counterRow struct {
+	name  string
+	value int64
+	gauge bool
+}
+
+type histRow struct {
+	name string
+	h    HistogramSnapshot
+}
+
+func (s Snapshot) histRows() []histRow {
+	return []histRow{
+		{"engine_queue_wait_seconds", s.Engine.QueueWait},
+		{"engine_query_latency_seconds", s.Engine.QueryLatency},
+	}
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format under the soi_ namespace. Counters get a _total suffix, gauges
+// none; histograms render cumulative le buckets plus _sum and _count.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	rows := s.counterRows()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, r := range rows {
+		name, typ := "soi_"+r.name+"_total", "counter"
+		if r.gauge {
+			name, typ = "soi_"+r.name, "gauge"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, r.value); err != nil {
+			return err
+		}
+	}
+	hists := s.histRows()
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	bounds := BucketBounds()
+	for _, hr := range hists {
+		name := "soi_" + hr.name
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum int64
+		for i, b := range bounds {
+			cum += hr.h.Buckets[i]
+			le := strconv.FormatFloat(float64(b)/1e9, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		cum += hr.h.Buckets[NumBuckets-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			name, strconv.FormatFloat(float64(hr.h.SumNano)/1e9, 'g', -1, 64), name, hr.h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText renders the snapshot as sorted "key value" lines: integer
+// counters verbatim, histogram summaries as count plus fixed three-
+// decimal millisecond quantiles. The sorted keys and fixed float format
+// keep the output layout stable for golden-file testing.
+func (s Snapshot) WriteText(w io.Writer) error {
+	lines := make([]string, 0, 48)
+	for _, r := range s.counterRows() {
+		lines = append(lines, fmt.Sprintf("%s %d", r.name, r.value))
+	}
+	for _, hr := range s.histRows() {
+		lines = append(lines,
+			fmt.Sprintf("%s_count %d", hr.name, hr.h.Count),
+			fmt.Sprintf("%s_sum_ms %.3f", hr.name, float64(hr.h.SumNano)/1e6),
+			fmt.Sprintf("%s_p50_ms %.3f", hr.name, float64(hr.h.P50Nano)/1e6),
+			fmt.Sprintf("%s_p95_ms %.3f", hr.name, float64(hr.h.P95Nano)/1e6),
+			fmt.Sprintf("%s_p99_ms %.3f", hr.name, float64(hr.h.P99Nano)/1e6),
+		)
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

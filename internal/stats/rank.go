@@ -1,8 +1,10 @@
-// Package metrics provides the ranking-quality measures used by the
-// effectiveness experiments: set-based recall/precision at a cutoff (the
-// paper's Table 2 reports recall@10), graded nDCG against a ground-truth
-// ranking, and Kendall's tau between two rankings.
-package metrics
+package stats
+
+// This file holds the ranking-quality measures used by the effectiveness
+// experiments (absorbed from the former internal/metrics): set-based
+// recall/precision at a cutoff (the paper's Table 2 reports recall@10),
+// graded nDCG against a ground-truth ranking, and Kendall's tau between
+// two rankings.
 
 import (
 	"math"

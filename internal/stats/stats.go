@@ -1,0 +1,255 @@
+// Package stats is the observability substrate of the SOI system: a
+// lightweight, allocation-free Recorder of cumulative runtime counters
+// and fixed-bucket latency histograms, plus the ranking-quality measures
+// (recall, precision, nDCG, Kendall's tau) used by the effectiveness
+// experiments.
+//
+// The Recorder mirrors the paper's Section 6 evaluation internals —
+// accessed cells and segments, filter-versus-refine cost — as live
+// counters so a served system can be tuned by the same signals the paper
+// reports. It is organized in three groups matching the layers that feed
+// it: Core (Algorithm 1 source-list pops, cell visits, refinements),
+// Engine (result-cache and mass-cache traffic, in-flight dedup joins,
+// worker-pool pressure, query latency) and Diversify (Algorithm 2 greedy
+// iterations and pruning).
+//
+// All fields are safe for concurrent update and may be read at any time
+// with Snapshot. Producers hold a *Recorder that may be nil: every fold
+// helper (core.Stats.Record, diversify.Stats.Record, the engine's
+// internal observation points) starts with a nil check, so a disabled
+// recorder costs one predictable branch per query — nothing on the
+// per-cell and per-segment hot paths, which accumulate into their
+// existing per-run structs and fold once at the end of the run.
+package stats
+
+import "sync/atomic"
+
+// Counter is a cumulative, race-clean counter (or gauge, when
+// incremented and decremented). The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n and returns the new value.
+func (c *Counter) Add(n int64) int64 { return c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// SetMax raises the counter to v if v is larger, keeping the historical
+// maximum of a gauge.
+func (c *Counter) SetMax(v int64) {
+	for {
+		cur := c.v.Load()
+		if v <= cur || c.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// CoreStats aggregates Algorithm 1 work across every evaluation: the
+// paper's "accessed cells and segments" (Sec. 6) as cumulative totals.
+type CoreStats struct {
+	// Evaluations counts SOI runs folded into this group.
+	Evaluations Counter
+	// SL1CellsPopped counts pops from source list SL1 (cells in
+	// decreasing relevant-weight order).
+	SL1CellsPopped Counter
+	// SL2SegmentsPopped and SL3SegmentsPopped count segment finalizations
+	// driven by SL2 (cell-count order) and SL3 (length order).
+	SL2SegmentsPopped Counter
+	SL3SegmentsPopped Counter
+	// FilterIterations counts UB/LBk loop iterations of the filter phase.
+	FilterIterations Counter
+	// CellVisits counts UpdateInterest invocations that did work.
+	CellVisits Counter
+	// SegmentsSeen and SegmentsFinal count segments that left the unseen
+	// state and segments whose exact interest was computed.
+	SegmentsSeen  Counter
+	SegmentsFinal Counter
+	// MassCacheHits counts segments answered from a shared MassCache;
+	// MassCacheMisses counts segments finalized by actual cell visits.
+	MassCacheHits   Counter
+	MassCacheMisses Counter
+	// RefineDrained counts segments drained to exact mass during the
+	// refinement phase (the paper's "as necessary" finalizations).
+	RefineDrained Counter
+	// BuildListsNanos, FilterNanos and RefineNanos accumulate the
+	// per-phase wall time (the paper's Figure 4 breakdown).
+	BuildListsNanos Counter
+	FilterNanos     Counter
+	RefineNanos     Counter
+}
+
+// EngineStats aggregates the batch executor's traffic and worker-pool
+// pressure.
+type EngineStats struct {
+	// Queries counts every query received (Do and Batch).
+	Queries Counter
+	// ResultCacheHits / ResultCacheMisses count LRU result-cache lookups.
+	ResultCacheHits   Counter
+	ResultCacheMisses Counter
+	// DedupJoins counts queries that joined an identical in-flight
+	// evaluation instead of starting their own.
+	DedupJoins Counter
+	// Evaluations counts queries that ran the SOI algorithm.
+	Evaluations Counter
+	// BatchRequests, BatchQueries and BatchGroups count Batch calls,
+	// their queries, and the coalesced ⟨Ψ, ε⟩ groups actually evaluated.
+	BatchRequests Counter
+	BatchQueries  Counter
+	BatchGroups   Counter
+	// InFlight is the number of evaluations currently holding a worker
+	// slot; PeakInFlight its historical maximum.
+	InFlight     Counter
+	PeakInFlight Counter
+	// QueueDepth is the number of evaluations currently blocked waiting
+	// for a worker slot; PeakQueueDepth its historical maximum.
+	QueueDepth     Counter
+	PeakQueueDepth Counter
+	// BusyNanos accumulates wall time spent inside evaluations;
+	// utilization over an interval is BusyNanos / (workers × interval).
+	BusyNanos Counter
+	// QueueWait is the distribution of time spent waiting for a worker
+	// slot; QueryLatency the distribution of evaluation wall time.
+	QueueWait    Histogram
+	QueryLatency Histogram
+}
+
+// DiversifyStats aggregates Algorithm 2 (ST_Rel+Div) work.
+type DiversifyStats struct {
+	// Summaries counts summary constructions folded into this group.
+	Summaries Counter
+	// Iterations counts greedy MMR selection rounds.
+	Iterations Counter
+	// CandidatePhotos accumulates |Rs|, the candidate pool size.
+	CandidatePhotos Counter
+	// PhotosEvaluated, CellsExamined and CellsPruned mirror the
+	// filter/refine pruning measures of Section 6.2.
+	PhotosEvaluated Counter
+	CellsExamined   Counter
+	CellsPruned     Counter
+	// SummaryNanos accumulates summary construction wall time.
+	SummaryNanos Counter
+}
+
+// Recorder is the process-wide sink for observability counters. One
+// recorder is owned by the soi.Engine and shared by every layer under
+// it; a nil *Recorder disables recording entirely.
+type Recorder struct {
+	Core      CoreStats
+	Engine    EngineStats
+	Diversify DiversifyStats
+}
+
+// NewRecorder returns a zeroed recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// CoreSnapshot is the JSON form of CoreStats.
+type CoreSnapshot struct {
+	Evaluations       int64 `json:"evaluations"`
+	SL1CellsPopped    int64 `json:"sl1_cells_popped"`
+	SL2SegmentsPopped int64 `json:"sl2_segments_popped"`
+	SL3SegmentsPopped int64 `json:"sl3_segments_popped"`
+	FilterIterations  int64 `json:"filter_iterations"`
+	CellVisits        int64 `json:"cell_visits"`
+	SegmentsSeen      int64 `json:"segments_seen"`
+	SegmentsFinal     int64 `json:"segments_final"`
+	MassCacheHits     int64 `json:"mass_cache_hits"`
+	MassCacheMisses   int64 `json:"mass_cache_misses"`
+	RefineDrained     int64 `json:"refine_drained"`
+	BuildListsNanos   int64 `json:"build_lists_ns"`
+	FilterNanos       int64 `json:"filter_ns"`
+	RefineNanos       int64 `json:"refine_ns"`
+}
+
+// EngineSnapshot is the JSON form of EngineStats.
+type EngineSnapshot struct {
+	Queries           int64             `json:"queries"`
+	ResultCacheHits   int64             `json:"result_cache_hits"`
+	ResultCacheMisses int64             `json:"result_cache_misses"`
+	DedupJoins        int64             `json:"dedup_joins"`
+	Evaluations       int64             `json:"evaluations"`
+	BatchRequests     int64             `json:"batch_requests"`
+	BatchQueries      int64             `json:"batch_queries"`
+	BatchGroups       int64             `json:"batch_groups"`
+	InFlight          int64             `json:"in_flight"`
+	PeakInFlight      int64             `json:"peak_in_flight"`
+	QueueDepth        int64             `json:"queue_depth"`
+	PeakQueueDepth    int64             `json:"peak_queue_depth"`
+	BusyNanos         int64             `json:"busy_ns"`
+	QueueWait         HistogramSnapshot `json:"queue_wait"`
+	QueryLatency      HistogramSnapshot `json:"query_latency"`
+}
+
+// DiversifySnapshot is the JSON form of DiversifyStats.
+type DiversifySnapshot struct {
+	Summaries       int64 `json:"summaries"`
+	Iterations      int64 `json:"iterations"`
+	CandidatePhotos int64 `json:"candidate_photos"`
+	PhotosEvaluated int64 `json:"photos_evaluated"`
+	CellsExamined   int64 `json:"cells_examined"`
+	CellsPruned     int64 `json:"cells_pruned"`
+	SummaryNanos    int64 `json:"summary_ns"`
+}
+
+// Snapshot is a point-in-time copy of every recorder value, safe to
+// serialize while traffic continues.
+type Snapshot struct {
+	Core      CoreSnapshot      `json:"core"`
+	Engine    EngineSnapshot    `json:"engine"`
+	Diversify DiversifySnapshot `json:"diversify"`
+}
+
+// Snapshot copies the current counter and histogram values. Each counter
+// is read atomically; the snapshot as a whole is not one instant, which
+// is fine for monitoring. A nil recorder yields a zero snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Core: CoreSnapshot{
+			Evaluations:       r.Core.Evaluations.Load(),
+			SL1CellsPopped:    r.Core.SL1CellsPopped.Load(),
+			SL2SegmentsPopped: r.Core.SL2SegmentsPopped.Load(),
+			SL3SegmentsPopped: r.Core.SL3SegmentsPopped.Load(),
+			FilterIterations:  r.Core.FilterIterations.Load(),
+			CellVisits:        r.Core.CellVisits.Load(),
+			SegmentsSeen:      r.Core.SegmentsSeen.Load(),
+			SegmentsFinal:     r.Core.SegmentsFinal.Load(),
+			MassCacheHits:     r.Core.MassCacheHits.Load(),
+			MassCacheMisses:   r.Core.MassCacheMisses.Load(),
+			RefineDrained:     r.Core.RefineDrained.Load(),
+			BuildListsNanos:   r.Core.BuildListsNanos.Load(),
+			FilterNanos:       r.Core.FilterNanos.Load(),
+			RefineNanos:       r.Core.RefineNanos.Load(),
+		},
+		Engine: EngineSnapshot{
+			Queries:           r.Engine.Queries.Load(),
+			ResultCacheHits:   r.Engine.ResultCacheHits.Load(),
+			ResultCacheMisses: r.Engine.ResultCacheMisses.Load(),
+			DedupJoins:        r.Engine.DedupJoins.Load(),
+			Evaluations:       r.Engine.Evaluations.Load(),
+			BatchRequests:     r.Engine.BatchRequests.Load(),
+			BatchQueries:      r.Engine.BatchQueries.Load(),
+			BatchGroups:       r.Engine.BatchGroups.Load(),
+			InFlight:          r.Engine.InFlight.Load(),
+			PeakInFlight:      r.Engine.PeakInFlight.Load(),
+			QueueDepth:        r.Engine.QueueDepth.Load(),
+			PeakQueueDepth:    r.Engine.PeakQueueDepth.Load(),
+			BusyNanos:         r.Engine.BusyNanos.Load(),
+			QueueWait:         r.Engine.QueueWait.Snapshot(),
+			QueryLatency:      r.Engine.QueryLatency.Snapshot(),
+		},
+		Diversify: DiversifySnapshot{
+			Summaries:       r.Diversify.Summaries.Load(),
+			Iterations:      r.Diversify.Iterations.Load(),
+			CandidatePhotos: r.Diversify.CandidatePhotos.Load(),
+			PhotosEvaluated: r.Diversify.PhotosEvaluated.Load(),
+			CellsExamined:   r.Diversify.CellsExamined.Load(),
+			CellsPruned:     r.Diversify.CellsPruned.Load(),
+			SummaryNanos:    r.Diversify.SummaryNanos.Load(),
+		},
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/photo"
 	"repro/internal/poi"
 	"repro/internal/route"
+	"repro/internal/stats"
 	"repro/internal/vocab"
 )
 
@@ -157,6 +158,7 @@ type Engine struct {
 	dict   *vocab.Dictionary
 	index  *core.Index
 	exec   *engine.Executor
+	rec    *stats.Recorder
 
 	graphOnce sync.Once
 	graph     *route.Graph
@@ -227,8 +229,9 @@ func newEngine(net *network.Network, pois *poi.Corpus, photos *photo.Corpus, dic
 	if err != nil {
 		return nil, fmt.Errorf("soi: building index: %w", err)
 	}
-	exec := engine.New(ix, engine.Config{Workers: cfg.Workers, CacheSize: cfg.CacheSize})
-	return &Engine{net: net, pois: pois, photos: photos, dict: dict, index: ix, exec: exec}, nil
+	rec := stats.NewRecorder()
+	exec := engine.New(ix, engine.Config{Workers: cfg.Workers, CacheSize: cfg.CacheSize, Recorder: rec})
+	return &Engine{net: net, pois: pois, photos: photos, dict: dict, index: ix, exec: exec, rec: rec}, nil
 }
 
 // Warm precomputes the ε-dependent index structures so that subsequent
@@ -256,6 +259,77 @@ func (e *Engine) TopStreets(q Query) ([]Street, error) {
 	return toStreets(res.Streets), nil
 }
 
+// QueryTrace reports the per-stage work of one k-SOI evaluation: the
+// phase timings of the paper's Figure 4 and the accessed-cell/segment
+// counts of its Section 6 measurements. For a cached result the trace
+// describes the original evaluation.
+type QueryTrace struct {
+	// Cached reports whether the answer was served without evaluation
+	// (LRU result cache or an identical in-flight query).
+	Cached bool `json:"cached"`
+	// Phase wall times in microseconds (Figure 4's breakdown).
+	BuildListsMicros int64 `json:"build_lists_us"`
+	FilterMicros     int64 `json:"filter_us"`
+	RefineMicros     int64 `json:"refine_us"`
+	// Source-list access counts: cells popped from SL1, segments
+	// finalized via SL2 and SL3.
+	SL1CellsPopped    int `json:"sl1_cells_popped"`
+	SL2SegmentsPopped int `json:"sl2_segments_popped"`
+	SL3SegmentsPopped int `json:"sl3_segments_popped"`
+	// FilterIterations counts UB/LBk bound comparisons of the filter
+	// loop.
+	FilterIterations int `json:"filter_iterations"`
+	// CellVisits counts per-segment cell visits (UpdateInterest calls
+	// that did work).
+	CellVisits int `json:"cell_visits"`
+	// SegmentsSeen / SegmentsFinal count segments touched and segments
+	// brought to exact mass; RefineDrained counts finalizations deferred
+	// to the refinement phase.
+	SegmentsSeen  int `json:"segments_seen"`
+	SegmentsFinal int `json:"segments_final"`
+	RefineDrained int `json:"refine_drained"`
+	// MassCacheHits counts segments answered from the shared mass cache
+	// without any cell visit.
+	MassCacheHits int `json:"mass_cache_hits"`
+	// TotalSegments and TotalCells size the search space the pruning is
+	// measured against.
+	TotalSegments int `json:"total_segments"`
+	TotalCells    int `json:"total_cells"`
+}
+
+// traceOf converts an executor result's per-run stats into the public
+// trace form.
+func traceOf(res engine.Result) QueryTrace {
+	s := res.Stats
+	return QueryTrace{
+		Cached:            res.Cached,
+		BuildListsMicros:  s.BuildListsTime.Microseconds(),
+		FilterMicros:      s.FilterTime.Microseconds(),
+		RefineMicros:      s.RefineTime.Microseconds(),
+		SL1CellsPopped:    s.CellAccesses,
+		SL2SegmentsPopped: s.SL2Accesses,
+		SL3SegmentsPopped: s.SL3Accesses,
+		FilterIterations:  s.FilterIterations,
+		CellVisits:        s.CellVisits,
+		SegmentsSeen:      s.SegmentsSeen,
+		SegmentsFinal:     s.SegmentsFinal,
+		RefineDrained:     s.RefineDrained,
+		MassCacheHits:     s.SegmentCacheHits,
+		TotalSegments:     s.TotalSegments,
+		TotalCells:        s.TotalCells,
+	}
+}
+
+// TopStreetsTraced is TopStreets returning the evaluation's per-stage
+// trace alongside the answer.
+func (e *Engine) TopStreetsTraced(q Query) ([]Street, QueryTrace, error) {
+	res := e.exec.Do(core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon})
+	if res.Err != nil {
+		return nil, QueryTrace{}, res.Err
+	}
+	return toStreets(res.Streets), traceOf(res), nil
+}
+
 func toStreets(res []core.StreetResult) []Street {
 	out := make([]Street, len(res))
 	for i, r := range res {
@@ -268,6 +342,9 @@ func toStreets(res []core.StreetResult) []Street {
 type BatchResult struct {
 	Streets []Street
 	Err     error
+	// Trace describes the evaluation that produced the entry (shared by
+	// every query coalesced into it).
+	Trace QueryTrace
 }
 
 // TopStreetsBatch evaluates many k-SOI queries concurrently over the
@@ -285,13 +362,21 @@ func (e *Engine) TopStreetsBatch(qs []Query) []BatchResult {
 			out[i] = BatchResult{Err: r.Err}
 			continue
 		}
-		out[i] = BatchResult{Streets: toStreets(r.Streets)}
+		out[i] = BatchResult{Streets: toStreets(r.Streets), Trace: traceOf(r)}
 	}
 	return out
 }
 
 // QueryMetrics reports the engine's cumulative k-SOI executor counters.
 func (e *Engine) QueryMetrics() engine.Metrics { return e.exec.Metrics() }
+
+// StatsRecorder returns the engine's observability recorder; all k-SOI
+// and description traffic folds into it.
+func (e *Engine) StatsRecorder() *stats.Recorder { return e.rec }
+
+// StatsSnapshot returns a point-in-time copy of every observability
+// counter and latency histogram.
+func (e *Engine) StatsSnapshot() stats.Snapshot { return e.rec.Snapshot() }
 
 // TourStop is one street visit of a recommended tour.
 type TourStop struct {
@@ -382,6 +467,7 @@ func (e *Engine) DescribeStreet(name string, p SummaryParams) (Summary, error) {
 	if err != nil {
 		return Summary{}, err
 	}
+	res.Stats.Record(e.rec, len(rs))
 	sum := Summary{
 		Street:         name,
 		Objective:      res.Objective,
