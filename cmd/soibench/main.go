@@ -22,7 +22,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -49,11 +51,16 @@ func main() {
 		queries  = flag.Int("queries", 150, "workload size per city for -parallel and -stats")
 		withStat = flag.Bool("stats", false, "run the workload through an instrumented engine and print the observability snapshot")
 		statsOut = flag.String("statsout", "", "write the -stats snapshot as JSON to this file (implies -stats)")
+		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget for a -parallel/-stats run; a run cut short exits non-zero")
+		deadline = flag.Duration("deadline", 0, "per-query evaluation deadline for -parallel/-stats runs (0 = none)")
 	)
 	flag.Parse()
 
 	if *parallel < 0 {
 		log.Fatalf("-parallel needs a positive worker count, got %d", *parallel)
+	}
+	if *timeout < 0 || *deadline < 0 {
+		log.Fatalf("-timeout and -deadline must be non-negative, got %v / %v", *timeout, *deadline)
 	}
 	if *statsOut != "" {
 		*withStat = true
@@ -62,7 +69,16 @@ func main() {
 		if *queries <= 0 {
 			log.Fatalf("-parallel and -stats need a positive -queries workload size, got %d", *queries)
 		}
-		if err := runParallel(*cities, *scale, *parallel, *queries, *withStat, *statsOut); err != nil {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		if err := runParallel(ctx, *cities, *scale, *parallel, *queries, *withStat, *statsOut, *deadline); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				log.Fatalf("run cut short by -timeout %v: %v", *timeout, err)
+			}
 			log.Fatal(err)
 		}
 		return
@@ -202,8 +218,10 @@ func main() {
 // observability recorder and prints each city's snapshot (sorted keys,
 // fixed float formatting, so the layout is golden-file stable). A
 // non-empty statsOut additionally writes every snapshot as one JSON
-// document for trend tracking across runs.
-func runParallel(cities string, scale float64, workers, queries int, withStats bool, statsOut string) error {
+// document for trend tracking across runs. The context bounds the whole
+// run (-timeout) and deadline bounds each query (-deadline); either cut
+// surfaces as a context error and a non-zero exit.
+func runParallel(ctx context.Context, cities string, scale float64, workers, queries int, withStats bool, statsOut string, deadline time.Duration) error {
 	out := os.Stdout
 	start := time.Now()
 	fmt.Fprintf(out, "Loading cities (scale %g)...\n", scale)
@@ -214,12 +232,15 @@ func runParallel(cities string, scale float64, workers, queries int, withStats b
 	fmt.Fprintf(out, "Loaded %d cities in %v.\n\n", len(citiesList), time.Since(start).Round(time.Millisecond))
 	artifact := statsArtifact{Scale: scale, Workers: workers, Queries: queries, Cities: map[string]stats.Snapshot{}}
 	for _, c := range citiesList {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("before %s: %w", c.Name(), err)
+		}
 		var rec *stats.Recorder
 		if withStats {
 			rec = stats.NewRecorder()
 		}
 		if workers > 0 {
-			res, err := experiments.ParallelBenchRecorded(c, workers, queries, rec)
+			res, err := experiments.ParallelBenchContext(ctx, c, workers, queries, rec, deadline)
 			if err != nil {
 				return err
 			}
@@ -231,8 +252,8 @@ func runParallel(cities string, scale float64, workers, queries int, withStats b
 		} else {
 			// Stats-only run: evaluate the workload once through an
 			// instrumented executor, without the sequential baseline.
-			exec := engine.New(c.Index, engine.Config{CacheSize: -1, Recorder: rec})
-			for i, r := range exec.Batch(experiments.ParallelWorkload(queries)) {
+			exec := engine.New(c.Index, engine.Config{CacheSize: -1, Recorder: rec, QueryTimeout: deadline})
+			for i, r := range exec.BatchCtx(ctx, experiments.ParallelWorkload(queries)) {
 				if r.Err != nil {
 					return fmt.Errorf("stats query %d on %s: %w", i, c.Name(), r.Err)
 				}

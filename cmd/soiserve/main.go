@@ -13,14 +13,26 @@
 //	GET /api/tour?keywords=shop&k=10&budget=0.05
 //	GET /metrics                   Prometheus text exposition
 //	GET /debug/pprof/              net/http/pprof profiles
+//
+// The server is production-hardened: per-query deadlines
+// (-query-timeout), bounded admission with load shedding (-queue-depth,
+// -max-queue-wait → 503 + Retry-After), a capped batch request body
+// (-max-batch-bytes → 413), and SIGINT/SIGTERM graceful shutdown that
+// drains in-flight requests for up to -shutdown-grace before exiting 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	soi "repro"
@@ -33,16 +45,27 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("soiserve: ")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		city    = flag.String("city", "", "generate a synthetic city: london, berlin, vienna, small")
-		scale   = flag.Float64("scale", 0.25, "volume scale for -city")
-		dataDir = flag.String("data", "", "load a CSV dataset directory instead of generating")
-		workers = flag.Int("workers", 0, "max concurrent k-SOI evaluations (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", 0, "query result cache capacity (0 = default, negative disables)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		city          = flag.String("city", "", "generate a synthetic city: london, berlin, vienna, small")
+		scale         = flag.Float64("scale", 0.25, "volume scale for -city")
+		dataDir       = flag.String("data", "", "load a CSV dataset directory instead of generating")
+		workers       = flag.Int("workers", 0, "max concurrent k-SOI evaluations (0 = GOMAXPROCS)")
+		cache         = flag.Int("cache", 0, "query result cache capacity (0 = default, negative disables)")
+		queueDepth    = flag.Int("queue-depth", 256, "max queries waiting for a worker slot before shedding with 503 (0 = unbounded)")
+		maxQueueWait  = flag.Duration("max-queue-wait", 2*time.Second, "max time a query may wait for a worker slot before shedding (0 = unbounded)")
+		queryTimeout  = flag.Duration("query-timeout", 30*time.Second, "per-query evaluation deadline (0 = none)")
+		maxBatchBytes = flag.Int64("max-batch-bytes", server.DefaultMaxBatchBytes, "max /api/streets/batch request body size (negative = unlimited)")
+		shutdownGrace = flag.Duration("shutdown-grace", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	cfg := soi.Config{Workers: *workers, CacheSize: *cache}
+	cfg := soi.Config{
+		Workers:      *workers,
+		CacheSize:    *cache,
+		QueueDepth:   *queueDepth,
+		MaxQueueWait: *maxQueueWait,
+		QueryTimeout: *queryTimeout,
+	}
 	eng, err := buildEngine(*city, *scale, *dataDir, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -51,12 +74,59 @@ func main() {
 	log.Printf("serving %d streets, %d POIs, %d photos on %s",
 		eng.NumStreets(), eng.NumPOIs(), eng.NumPhotos(), *addr)
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newHandler(eng),
-		ReadHeaderTimeout: 5 * time.Second,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, *addr, newHandler(eng, *maxBatchBytes), *shutdownGrace); err != nil {
+		log.Fatal(err)
 	}
-	log.Fatal(srv.ListenAndServe())
+	log.Printf("shutdown complete")
+}
+
+// serve runs the HTTP server until ctx is cancelled (SIGINT/SIGTERM),
+// then drains in-flight requests via http.Server.Shutdown for up to
+// grace before closing the remainder. A clean drain returns nil, so the
+// process exits 0 under orchestrated restarts.
+func serve(ctx context.Context, addr string, handler http.Handler, grace time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveListener(ctx, ln, handler, grace)
+}
+
+// serveListener is serve over an established listener (separated so the
+// shutdown sequence is testable on an ephemeral port).
+func serveListener(ctx context.Context, ln net.Listener, handler http.Handler, grace time.Duration) error {
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received, draining in-flight requests (grace %v)", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// The grace period elapsed with requests still in flight; close
+		// them and report the forced stop.
+		srv.Close()
+		return fmt.Errorf("graceful shutdown incomplete: %w", err)
+	}
+	return <-errc
 }
 
 func buildEngine(city string, scale float64, dataDir string, cfg soi.Config) (*soi.Engine, error) {
@@ -96,6 +166,6 @@ func loadEngine(dir string, cfg soi.Config) (*soi.Engine, error) {
 }
 
 // newHandler wires the HTTP routes (internal/server).
-func newHandler(eng *soi.Engine) http.Handler {
-	return server.New(eng)
+func newHandler(eng *soi.Engine, maxBatchBytes int64) http.Handler {
+	return server.NewWithConfig(eng, server.Config{MaxBatchBytes: maxBatchBytes})
 }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// TestSOIContextExpiredBeforeStart: a context that is already done must
+// fail the query before any list is built or popped — no evaluation work.
+func TestSOIContextExpiredBeforeStart(t *testing.T) {
+	ix := buildFixture(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, st, err := ix.SOIContext(ctx, Query{Keywords: []string{"shop"}, K: 2, Epsilon: 0.1}, CostAware, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Fatalf("results = %v, want nil (no evaluation)", res)
+	}
+	if st.FilterIterations != 0 || st.SegmentsSeen != 0 {
+		t.Fatalf("stats = %+v, want zero work before the first checkpoint", st)
+	}
+}
+
+// TestSOIContextCancelMidFilter: a cancellation that lands while the
+// filter loop is parked (a wedged source, modelled by a Block fault at the
+// filter checkpoint) must surface context.Canceled promptly instead of
+// hanging.
+func TestSOIContextCancelMidFilter(t *testing.T) {
+	ix := buildFixture(t)
+	block := make(chan struct{})
+	defer close(block)
+	faults.Activate(SiteFilter, faults.Fault{Block: block})
+	defer faults.Deactivate(SiteFilter)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		res []StreetResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, _, err := ix.SOIContext(ctx, Query{Keywords: []string{"shop"}, K: 2, Epsilon: 0.1}, CostAware, nil)
+		done <- outcome{res, err}
+	}()
+
+	deadline := time.After(2 * time.Second)
+	for faults.Visits(SiteFilter) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("filter checkpoint never visited")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	select {
+	case o := <-done:
+		if !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", o.err)
+		}
+		if o.res != nil {
+			t.Fatalf("results = %v, want nil on cancellation", o.res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("SOIContext did not observe cancellation at the filter checkpoint")
+	}
+}
+
+// TestSOIContextBackgroundIdentical: threading a live background context
+// must not change any answer — the checkpoints are read-only on the
+// non-cancelled path.
+func TestSOIContextBackgroundIdentical(t *testing.T) {
+	ix := buildFixture(t)
+	q := Query{Keywords: []string{"shop"}, K: 2, Epsilon: 0.1}
+	want, _, err := ix.SOI(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.SOIContext(context.Background(), q, CostAware, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "ctx", got, want)
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/network"
@@ -188,6 +190,22 @@ func (mc *MassCache) admit() bool {
 	return true
 }
 
+// Fault-injection site names of the evaluation path (see internal/faults).
+// Unarmed sites cost one atomic load; the chaos test suite arms them to
+// wedge, delay or crash an evaluation at a precise point.
+const (
+	// SiteFilter is visited once per filter-loop iteration.
+	SiteFilter = "core.filter"
+	// SiteRefine is visited once per refine candidate.
+	SiteRefine = "core.refine"
+)
+
+// cancelCheckEvery is the checkpoint stride: the filter and refine loops
+// poll ctx.Err() every cancelCheckEvery iterations, keeping the hot path
+// branch-cheap while bounding cancellation latency to a few dozen
+// source-list pops.
+const cancelCheckEvery = 32
+
 // soiRun carries the mutable state of one SOI evaluation.
 type soiRun struct {
 	ix    *Index
@@ -195,6 +213,11 @@ type soiRun struct {
 	k     int
 	eps   float64
 	strat Strategy
+
+	// ctx carries the evaluation's cancellation signal; tick strides the
+	// cooperative checkpoints.
+	ctx  context.Context
+	tick int
 
 	// mc, when non-nil, shares per-(segment, cell) mass contributions
 	// with other runs over the same index; psi is the query's interned id
@@ -272,11 +295,26 @@ func (ix *Index) SOIWithStrategy(q Query, strat Strategy) ([]StreetResult, Stats
 // are the bit-exact values the standalone path computes, the results are
 // identical either way; only the work to obtain them is shared.
 func (ix *Index) SOIWithCache(q Query, strat Strategy, mc *MassCache) ([]StreetResult, Stats, error) {
+	return ix.SOIContext(context.Background(), q, strat, mc)
+}
+
+// SOIContext is the full evaluation entry point: SOIWithCache under a
+// context. An already-expired context returns its error without touching
+// the index; a context cancelled mid-evaluation is observed at a
+// cooperative checkpoint inside the filter and refine loops (every
+// cancelCheckEvery iterations) and surfaces as the context's error with
+// the partial Stats accumulated so far. On the non-cancelled path the
+// checkpoints read state only, so results remain bit-identical to an
+// uncancellable evaluation.
+func (ix *Index) SOIContext(ctx context.Context, q Query, strat Strategy, mc *MassCache) ([]StreetResult, Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	query, err := ix.resolveQuery(q)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	r := &soiRun{ix: ix, query: query, k: q.K, eps: q.Epsilon, strat: strat, mc: mc}
+	r := &soiRun{ix: ix, query: query, k: q.K, eps: q.Epsilon, strat: strat, mc: mc, ctx: ctx}
 	if mc != nil {
 		r.psi = mc.psiID(query)
 	}
@@ -288,13 +326,34 @@ func (ix *Index) SOIWithCache(q Query, strat Strategy, mc *MassCache) ([]StreetR
 	r.stats.BuildListsTime = time.Since(start)
 
 	start = time.Now()
-	r.filter()
+	err = r.filter()
 	r.stats.FilterTime = time.Since(start)
+	if err != nil {
+		return nil, r.stats, err
+	}
 
 	start = time.Now()
-	res := r.refine()
+	res, err := r.refine()
 	r.stats.RefineTime = time.Since(start)
+	if err != nil {
+		return nil, r.stats, err
+	}
 	return res, r.stats, nil
+}
+
+// checkpoint is one cooperative cancellation poll: the armed-fault site
+// fires every visit (one atomic load when unarmed), the context is
+// polled every cancelCheckEvery visits. A non-nil return aborts the
+// evaluation with that error.
+func (r *soiRun) checkpoint(site string) error {
+	if err := faults.InjectCtx(r.ctx, site); err != nil {
+		return err
+	}
+	r.tick++
+	if r.tick%cancelCheckEvery != 0 {
+		return nil
+	}
+	return r.ctx.Err()
 }
 
 // buildLists constructs the three source lists (Algorithm 1 lines 1–7).
@@ -490,10 +549,9 @@ func (r *soiRun) unseenUpperBound() float64 {
 // that strategy cost-aware: SL1 drives the search; SL3 is consumed while
 // its next segment is cheap to finalize (few ε-near cells); SL2 is
 // consumed only while its next segment has an outlier cell count.
-func (r *soiRun) filter() {
+func (r *soiRun) filter() error {
 	if r.strat == RoundRobin {
-		r.filterRoundRobin()
-		return
+		return r.filterRoundRobin()
 	}
 	// avgCells calibrates the SL2 outlier threshold.
 	var totalPairs int
@@ -516,14 +574,17 @@ func (r *soiRun) filter() {
 		// is a pure function of the query even when a shared MassCache
 		// changes how fast LBk rises.
 		r.stats.FilterIterations++
+		if err := r.checkpoint(SiteFilter); err != nil {
+			return err
+		}
 		if ub := r.unseenUpperBound(); ub == 0 || ub < r.topk.Bound() {
-			return
+			return nil
 		}
 		if r.p1 >= len(r.sl1) {
 			// SL1 exhausted: no unseen segment can have positive mass, so
 			// the unseen upper bound is zero and the loop above returns on
 			// the next check once the segment lists are advanced.
-			return
+			return nil
 		}
 		// SL1 access: pop the cell with the largest relevant weight and
 		// update every segment within ε of it.
@@ -561,14 +622,17 @@ func (r *soiRun) filter() {
 // one access each, cyclically, until LBk ≥ UB. Kept as an ablation of the
 // access strategy; it yields the same result set but typically finalizes
 // far more segments than the cost-aware schedule.
-func (r *soiRun) filterRoundRobin() {
+func (r *soiRun) filterRoundRobin() error {
 	src := 0
 	for {
 		// Strict stop, as in the cost-aware schedule: ties at the k-th
 		// rank must be seen before the filter may stop.
 		r.stats.FilterIterations++
+		if err := r.checkpoint(SiteFilter); err != nil {
+			return err
+		}
 		if ub := r.unseenUpperBound(); ub == 0 || ub < r.topk.Bound() {
-			return
+			return nil
 		}
 		switch src {
 		case 0:
@@ -580,7 +644,7 @@ func (r *soiRun) filterRoundRobin() {
 					r.updateInterest(sid, cid)
 				}
 			} else if r.p2 >= len(r.sl2) && r.p3 >= len(r.sl3) {
-				return // every list exhausted; UB is zero
+				return nil // every list exhausted; UB is zero
 			}
 		case 1:
 			r.p2 = r.skipFinal(r.sl2, r.p2)
@@ -641,7 +705,7 @@ func (r *soiRun) drainSegment(sid network.SegmentID) {
 // and processing stops once the next candidate's upper bound cannot beat
 // the k-th best exact street interest. Streets with zero interest are not
 // reported; ties are broken by street id for determinism.
-func (r *soiRun) refine() []StreetResult {
+func (r *soiRun) refine() ([]StreetResult, error) {
 	// Relevant weight per cell, for the per-segment upper bounds. SL1
 	// entries carry exactly min(|Pc|, Σψ I[ψ][c]).
 	cellW := make(map[grid.CellID]float64, len(r.sl1))
@@ -684,6 +748,9 @@ func (r *soiRun) refine() []StreetResult {
 	streetBest := make(map[network.StreetID]best)
 	exactTopK := newStreetTopK(r.k)
 	for _, c := range cands {
+		if err := r.checkpoint(SiteRefine); err != nil {
+			return nil, err
+		}
 		// Strictly below the k-th exact interest: the candidate can
 		// neither enter nor tie into the top-k. The comparison must be
 		// strict so that exact ties at the boundary are always drained —
@@ -723,7 +790,7 @@ func (r *soiRun) refine() []StreetResult {
 	if len(out) > r.k {
 		out = out[:r.k]
 	}
-	return out
+	return out, nil
 }
 
 // sortResults orders street results by decreasing interest, breaking ties

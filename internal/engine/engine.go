@@ -19,6 +19,9 @@ package engine
 
 import (
 	"container/list"
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"strconv"
@@ -28,9 +31,34 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/stats"
 	"repro/internal/vocab"
 )
+
+// ErrOverloaded is returned when admission control sheds a query instead
+// of queueing it: the bounded wait queue was at depth, or the configured
+// maximum queue wait elapsed before a worker slot freed up. Callers
+// should treat it as retryable backpressure (HTTP servers map it to
+// 503 with a Retry-After hint).
+var ErrOverloaded = errors.New("engine: overloaded")
+
+// PanicError is the per-query error a recovered evaluation panic is
+// converted into. The process keeps serving; Value carries the panic
+// payload for logging.
+type PanicError struct {
+	Value any
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: evaluation panicked: %v", e.Value)
+}
+
+// SiteEvaluate is the fault-injection site visited by every evaluation
+// after it acquires a worker slot, before the SOI algorithm runs (see
+// internal/faults). The chaos suite arms it to wedge or crash workers.
+const SiteEvaluate = "engine.evaluate"
 
 // Config controls executor construction.
 type Config struct {
@@ -48,6 +76,18 @@ type Config struct {
 	MassCacheEntries int
 	// Strategy is the source-list access strategy used for every query.
 	Strategy core.Strategy
+	// QueueDepth bounds how many queries may wait for a worker slot at
+	// once; excess load is shed immediately with ErrOverloaded instead of
+	// queueing unboundedly. 0 disables the bound (every query waits),
+	// preserving the pre-admission-control behavior for embedded use.
+	QueueDepth int
+	// MaxQueueWait bounds how long an admitted query may wait for a
+	// worker slot before being shed with ErrOverloaded. 0 means no bound.
+	MaxQueueWait time.Duration
+	// QueryTimeout is the per-query deadline applied to every Do/Batch
+	// query on top of the caller's context. 0 means no engine-level
+	// deadline; a caller deadline that is earlier always wins.
+	QueryTimeout time.Duration
 	// Recorder, when non-nil, receives cumulative observability counters
 	// and latency histograms: cache traffic, worker-pool pressure,
 	// per-query wall time, and the folded Algorithm 1 pruning counters of
@@ -66,8 +106,11 @@ type Result struct {
 	Streets []core.StreetResult
 	Stats   core.Stats
 	Err     error
-	// Cached reports whether the result was served from the LRU cache
-	// (Stats then describes the original evaluation).
+	// Cached reports whether the result was served without a fresh
+	// evaluation: from the LRU cache, or by joining an identical
+	// in-flight evaluation that succeeded (Stats then describes the
+	// original evaluation). Errored results are never cached, so a
+	// joined error reports Cached false.
 	Cached bool
 }
 
@@ -83,6 +126,16 @@ type Metrics struct {
 	DedupHits uint64
 	// Evaluations counts queries that ran the SOI algorithm.
 	Evaluations uint64
+	// Shed counts queries rejected by admission control (ErrOverloaded).
+	Shed uint64
+	// Cancelled counts queries that ended with context.Canceled.
+	Cancelled uint64
+	// DeadlineExceeded counts queries that ended with
+	// context.DeadlineExceeded.
+	DeadlineExceeded uint64
+	// PanicsRecovered counts evaluations whose panic was isolated into a
+	// per-query PanicError.
+	PanicsRecovered uint64
 }
 
 // Executor evaluates k-SOI queries over one shared index. It is safe for
@@ -93,6 +146,11 @@ type Executor struct {
 	strat   core.Strategy
 	sem     chan struct{}
 
+	queueDepth   int           // 0 = unbounded wait queue
+	maxQueueWait time.Duration // 0 = no wait bound
+	queryTimeout time.Duration // 0 = no engine-level deadline
+	queued       atomic.Int64  // queries currently waiting for a slot
+
 	cache *lruCache       // nil when result caching is disabled
 	mass  *core.MassCache // nil when mass sharing is disabled
 	rec   *stats.Recorder // nil when observability recording is disabled
@@ -100,10 +158,14 @@ type Executor struct {
 	flightMu sync.Mutex
 	flight   map[string]*flight
 
-	queries     atomic.Uint64
-	cacheHits   atomic.Uint64
-	dedupHits   atomic.Uint64
-	evaluations atomic.Uint64
+	queries          atomic.Uint64
+	cacheHits        atomic.Uint64
+	dedupHits        atomic.Uint64
+	evaluations      atomic.Uint64
+	shed             atomic.Uint64
+	cancelled        atomic.Uint64
+	deadlineExceeded atomic.Uint64
+	panicsRecovered  atomic.Uint64
 }
 
 // flight is one in-progress evaluation that late arrivals can join.
@@ -119,12 +181,15 @@ func New(ix *core.Index, cfg Config) *Executor {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Executor{
-		ix:      ix,
-		workers: workers,
-		strat:   cfg.Strategy,
-		sem:     make(chan struct{}, workers),
-		flight:  make(map[string]*flight),
-		rec:     cfg.Recorder,
+		ix:           ix,
+		workers:      workers,
+		strat:        cfg.Strategy,
+		sem:          make(chan struct{}, workers),
+		queueDepth:   cfg.QueueDepth,
+		maxQueueWait: cfg.MaxQueueWait,
+		queryTimeout: cfg.QueryTimeout,
+		flight:       make(map[string]*flight),
+		rec:          cfg.Recorder,
 	}
 	switch {
 	case cfg.CacheSize == 0:
@@ -151,10 +216,14 @@ func (e *Executor) Recorder() *stats.Recorder { return e.rec }
 // Metrics returns a snapshot of the cumulative counters.
 func (e *Executor) Metrics() Metrics {
 	return Metrics{
-		Queries:     e.queries.Load(),
-		CacheHits:   e.cacheHits.Load(),
-		DedupHits:   e.dedupHits.Load(),
-		Evaluations: e.evaluations.Load(),
+		Queries:          e.queries.Load(),
+		CacheHits:        e.cacheHits.Load(),
+		DedupHits:        e.dedupHits.Load(),
+		Evaluations:      e.evaluations.Load(),
+		Shed:             e.shed.Load(),
+		Cancelled:        e.cancelled.Load(),
+		DeadlineExceeded: e.deadlineExceeded.Load(),
+		PanicsRecovered:  e.panicsRecovered.Load(),
 	}
 }
 
@@ -173,6 +242,15 @@ func (e *Executor) Invalidate() {
 // in-flight evaluation when possible. Invalid queries yield a Result with
 // Err set, mirroring core.Index.SOI.
 func (e *Executor) Do(q core.Query) Result {
+	return e.DoCtx(context.Background(), q)
+}
+
+// DoCtx is Do under a context: the query observes cancellation at the
+// engine's queue, at dedup joins and at the algorithm's cooperative
+// checkpoints, and the executor's QueryTimeout (if any) is applied on
+// top of the caller's deadline. The outcome is classified into the
+// shed/cancelled/deadline-exceeded counters.
+func (e *Executor) DoCtx(ctx context.Context, q core.Query) Result {
 	e.queries.Add(1)
 	if e.rec != nil {
 		e.rec.Engine.Queries.Add(1)
@@ -182,88 +260,219 @@ func (e *Executor) Do(q core.Query) Result {
 		// recompute than a cache slot.
 		return Result{Err: err}
 	}
-	return e.eval(q)
+	ctx, cancel := e.withTimeout(ctx)
+	defer cancel()
+	res := e.eval(ctx, q)
+	e.classify(res.Err)
+	return res
+}
+
+// withTimeout layers the engine's per-query deadline onto the caller's
+// context; an earlier caller deadline always wins.
+func (e *Executor) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if e.queryTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, e.queryTimeout)
+}
+
+// classify folds one query's terminal error into the robustness
+// counters: shed (ErrOverloaded), cancelled (context.Canceled) and
+// deadline-exceeded (context.DeadlineExceeded). Called exactly once per
+// Do/Batch query, so the counters account queries, not evaluations.
+func (e *Executor) classify(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrOverloaded):
+		e.shed.Add(1)
+		if e.rec != nil {
+			e.rec.Engine.Shed.Add(1)
+		}
+	case errors.Is(err, context.Canceled):
+		e.cancelled.Add(1)
+		if e.rec != nil {
+			e.rec.Engine.Cancelled.Add(1)
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		e.deadlineExceeded.Add(1)
+		if e.rec != nil {
+			e.rec.Engine.DeadlineExceeded.Add(1)
+		}
+	}
+}
+
+// isContextErr reports whether err is a cancellation or deadline error.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // eval runs one validated query through the cache, the in-flight table
-// and the bounded evaluation pool.
-func (e *Executor) eval(q core.Query) Result {
+// and the bounded evaluation pool. Dedup joins are context-aware: a
+// joiner abandons the wait when its own context ends, and a joiner whose
+// leader was cancelled (a failure of the leader's context, not the
+// joiner's) retries the evaluation itself instead of inheriting an error
+// it did not cause.
+func (e *Executor) eval(ctx context.Context, q core.Query) Result {
 	key := queryKey(q, e.strat)
-	if e.cache != nil {
-		if res, ok := e.cache.get(key); ok {
-			e.cacheHits.Add(1)
-			if e.rec != nil {
-				e.rec.Engine.ResultCacheHits.Add(1)
+	for {
+		if e.cache != nil {
+			if res, ok := e.cache.get(key); ok {
+				e.cacheHits.Add(1)
+				if e.rec != nil {
+					e.rec.Engine.ResultCacheHits.Add(1)
+				}
+				res.Cached = true
+				return res
 			}
-			res.Cached = true
+			if e.rec != nil {
+				e.rec.Engine.ResultCacheMisses.Add(1)
+			}
+		}
+		e.flightMu.Lock()
+		if f, ok := e.flight[key]; ok {
+			e.flightMu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return Result{Err: ctx.Err()}
+			}
+			res := f.res
+			if res.Err == nil {
+				e.dedupHits.Add(1)
+				if e.rec != nil {
+					e.rec.Engine.DedupJoins.Add(1)
+				}
+				res.Cached = true
+				return res
+			}
+			if isContextErr(res.Err) && ctx.Err() == nil {
+				// The leader's context ended, not ours: its flight entry
+				// is gone, so loop and evaluate the query ourselves.
+				continue
+			}
+			e.dedupHits.Add(1)
+			if e.rec != nil {
+				e.rec.Engine.DedupJoins.Add(1)
+			}
+			// Errors are never cached, so a joined error is Cached: false.
+			res.Cached = false
 			return res
 		}
-		if e.rec != nil {
-			e.rec.Engine.ResultCacheMisses.Add(1)
-		}
-	}
-	e.flightMu.Lock()
-	if f, ok := e.flight[key]; ok {
+		f := &flight{done: make(chan struct{})}
+		e.flight[key] = f
 		e.flightMu.Unlock()
-		<-f.done
-		e.dedupHits.Add(1)
-		if e.rec != nil {
-			e.rec.Engine.DedupJoins.Add(1)
-		}
-		res := f.res
-		res.Cached = true
-		return res
-	}
-	f := &flight{done: make(chan struct{})}
-	e.flight[key] = f
-	e.flightMu.Unlock()
 
-	e.evaluations.Add(1)
-	streets, st, err := e.evaluate(q)
-	f.res = Result{Streets: streets, Stats: st, Err: err}
-	if err == nil && e.cache != nil {
-		e.cache.put(key, f.res)
+		streets, st, err := e.evaluate(ctx, q)
+		f.res = Result{Streets: streets, Stats: st, Err: err}
+		if err == nil && e.cache != nil {
+			e.cache.put(key, f.res)
+		}
+		e.flightMu.Lock()
+		delete(e.flight, key)
+		e.flightMu.Unlock()
+		close(f.done)
+		return f.res
 	}
-	e.flightMu.Lock()
-	delete(e.flight, key)
-	e.flightMu.Unlock()
-	close(f.done)
-	return f.res
+}
+
+// acquire claims a worker slot under admission control. A free slot is
+// taken immediately; otherwise the query may wait only while the bounded
+// queue has room, its context is live and the configured maximum queue
+// wait has not elapsed — excess load is shed with ErrOverloaded rather
+// than queued unboundedly.
+func (e *Executor) acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if e.queueDepth > 0 {
+		if n := e.queued.Add(1); n > int64(e.queueDepth) {
+			e.queued.Add(-1)
+			return fmt.Errorf("%w: wait queue full (depth %d)", ErrOverloaded, e.queueDepth)
+		}
+		defer e.queued.Add(-1)
+	}
+	var timeout <-chan time.Time
+	if e.maxQueueWait > 0 {
+		t := time.NewTimer(e.maxQueueWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timeout:
+		return fmt.Errorf("%w: queue wait exceeded %v", ErrOverloaded, e.maxQueueWait)
+	}
 }
 
 // evaluate runs one SOI evaluation under the worker-pool semaphore,
 // which bounds concurrent evaluations engine-wide, covering both Batch
-// workers and direct Do callers (e.g. HTTP handlers). With a recorder
-// attached it additionally observes queue depth, queue wait, in-flight
-// count, evaluation wall time and the run's pruning counters; the
-// nil-recorder path performs no time syscalls beyond the evaluation
-// itself.
-func (e *Executor) evaluate(q core.Query) ([]core.StreetResult, core.Stats, error) {
+// workers and direct Do callers (e.g. HTTP handlers). Admission control
+// happens here: a query that cannot get a slot in time returns without
+// evaluating. With a recorder attached it additionally observes queue
+// depth, queue wait, in-flight count, evaluation wall time and the run's
+// pruning counters; the nil-recorder path performs no time syscalls
+// beyond the evaluation itself.
+func (e *Executor) evaluate(ctx context.Context, q core.Query) ([]core.StreetResult, core.Stats, error) {
 	rec := e.rec
 	if rec == nil {
-		e.sem <- struct{}{}
-		streets, st, err := e.ix.SOIWithCache(q, e.strat, e.mass)
-		<-e.sem
-		return streets, st, err
+		if err := e.acquire(ctx); err != nil {
+			return nil, core.Stats{}, err
+		}
+		defer func() { <-e.sem }()
+		e.evaluations.Add(1)
+		return e.run(ctx, q)
 	}
 	depth := rec.Engine.QueueDepth.Add(1)
 	rec.Engine.PeakQueueDepth.SetMax(depth)
 	waitStart := time.Now()
-	e.sem <- struct{}{}
+	err := e.acquire(ctx)
 	rec.Engine.QueueDepth.Add(-1)
 	rec.Engine.QueueWait.Observe(time.Since(waitStart))
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	defer func() { <-e.sem }()
+	e.evaluations.Add(1)
 	inFlight := rec.Engine.InFlight.Add(1)
 	rec.Engine.PeakInFlight.SetMax(inFlight)
+	defer rec.Engine.InFlight.Add(-1)
 	start := time.Now()
-	streets, st, err := e.ix.SOIWithCache(q, e.strat, e.mass)
+	streets, st, err := e.run(ctx, q)
 	elapsed := time.Since(start)
-	rec.Engine.InFlight.Add(-1)
-	<-e.sem
 	rec.Engine.Evaluations.Add(1)
 	rec.Engine.BusyNanos.Add(elapsed.Nanoseconds())
 	rec.Engine.QueryLatency.Observe(elapsed)
 	st.Record(rec)
 	return streets, st, err
+}
+
+// run executes one evaluation with panic isolation: a panic anywhere in
+// the algorithm is recovered into a per-query *PanicError, so a crashed
+// evaluation releases its worker slot (the caller's defer), wakes its
+// dedup joiners with the error, and leaves the process serving.
+func (e *Executor) run(ctx context.Context, q core.Query) (streets []core.StreetResult, st core.Stats, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			streets, st = nil, core.Stats{}
+			err = &PanicError{Value: v}
+			e.panicsRecovered.Add(1)
+			if e.rec != nil {
+				e.rec.Engine.PanicsRecovered.Add(1)
+			}
+		}
+	}()
+	if ferr := faults.InjectCtx(ctx, SiteEvaluate); ferr != nil {
+		return nil, core.Stats{}, ferr
+	}
+	return e.ix.SOIContext(ctx, q, e.strat, e.mass)
 }
 
 // Batch evaluates the queries concurrently over the shared index with at
@@ -276,6 +485,15 @@ func (e *Executor) evaluate(q core.Query) ([]core.StreetResult, core.Stats, erro
 // bit-identical to evaluating it alone. A coalesced entry's Stats
 // describe the shared evaluation.
 func (e *Executor) Batch(qs []core.Query) []Result {
+	return e.BatchCtx(context.Background(), qs)
+}
+
+// BatchCtx is Batch under a context: every group evaluation runs with
+// the engine's QueryTimeout layered onto the caller's context, and a
+// cancelled context fails the not-yet-evaluated remainder of the batch
+// promptly (each entry independently, mirroring Batch's per-query error
+// semantics).
+func (e *Executor) BatchCtx(ctx context.Context, qs []core.Query) []Result {
 	out := make([]Result, len(qs))
 	type group struct {
 		rep     core.Query // representative query; K is the group maximum
@@ -324,15 +542,24 @@ func (e *Executor) Batch(qs []core.Query) []Result {
 					return
 				}
 				g := groups[order[gi]]
-				res := e.eval(g.rep)
+				res := e.groupEval(ctx, g.rep)
 				for _, i := range g.members {
 					out[i] = prefix(res, qs[i].K)
+					e.classify(out[i].Err)
 				}
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// groupEval evaluates one coalesced batch group with the per-query
+// deadline applied per evaluation, not per batch.
+func (e *Executor) groupEval(ctx context.Context, q core.Query) Result {
+	ctx, cancel := e.withTimeout(ctx)
+	defer cancel()
+	return e.eval(ctx, q)
 }
 
 // prefix derives a smaller-k result from a shared evaluation at a larger

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -92,13 +93,22 @@ func ParallelBench(c *City, workers, n int) (ParallelResult, error) {
 // captures the engine's pruning and latency counters alongside
 // throughput. The sequential baseline loop is never recorded.
 func ParallelBenchRecorded(c *City, workers, n int, rec *stats.Recorder) (ParallelResult, error) {
+	return ParallelBenchContext(context.Background(), c, workers, n, rec, 0)
+}
+
+// ParallelBenchContext is ParallelBenchRecorded under a context with an
+// optional per-query deadline: the sequential loop and the batch both
+// observe ctx cancellation (a cut-short run returns the context error),
+// and a non-zero deadline is applied to every executor query, so the
+// bench harness exercises the engine's cancellation path end to end.
+func ParallelBenchContext(ctx context.Context, c *City, workers, n int, rec *stats.Recorder, deadline time.Duration) (ParallelResult, error) {
 	queries := ParallelWorkload(n)
 	res := ParallelResult{City: c.Name(), Workers: workers, Queries: len(queries)}
 
 	seq := make([][]core.StreetResult, len(queries))
 	start := time.Now()
 	for i, q := range queries {
-		r, _, err := c.Index.SOI(q)
+		r, _, err := c.Index.SOIContext(ctx, q, core.CostAware, nil)
 		if err != nil {
 			return res, fmt.Errorf("experiments: sequential query %d: %w", i, err)
 		}
@@ -106,9 +116,9 @@ func ParallelBenchRecorded(c *City, workers, n int, rec *stats.Recorder) (Parall
 	}
 	res.Sequential = time.Since(start)
 
-	exec := engine.New(c.Index, engine.Config{Workers: workers, CacheSize: -1, Recorder: rec})
+	exec := engine.New(c.Index, engine.Config{Workers: workers, CacheSize: -1, Recorder: rec, QueryTimeout: deadline})
 	start = time.Now()
-	par := exec.Batch(queries)
+	par := exec.BatchCtx(ctx, queries)
 	res.Parallel = time.Since(start)
 
 	res.Identical = true

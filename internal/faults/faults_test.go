@@ -1,0 +1,122 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInjectUnarmedIsNoop(t *testing.T) {
+	Reset()
+	Inject("nowhere")
+	if err := InjectCtx(context.Background(), "nowhere"); err != nil {
+		t.Fatalf("unarmed InjectCtx returned %v", err)
+	}
+	if Visits("nowhere") != 0 {
+		t.Fatalf("unarmed site recorded visits")
+	}
+}
+
+func TestDelayFires(t *testing.T) {
+	defer Reset()
+	Activate("t.delay", Fault{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	Inject("t.delay")
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("delay fault slept only %v", elapsed)
+	}
+	if Visits("t.delay") != 1 || Fired("t.delay") != 1 {
+		t.Fatalf("visits=%d fired=%d, want 1/1", Visits("t.delay"), Fired("t.delay"))
+	}
+}
+
+func TestAfterAndTimesWindow(t *testing.T) {
+	defer Reset()
+	Activate("t.window", Fault{Delay: time.Nanosecond, After: 2, Times: 1})
+	for i := 0; i < 5; i++ {
+		Inject("t.window")
+	}
+	if Visits("t.window") != 5 {
+		t.Fatalf("visits = %d, want 5", Visits("t.window"))
+	}
+	if Fired("t.window") != 1 {
+		t.Fatalf("fired = %d, want exactly 1 (After=2, Times=1)", Fired("t.window"))
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	defer Reset()
+	Activate("t.panic", Fault{Panic: true, PanicValue: "boom"})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	Inject("t.panic")
+	t.Fatal("Inject did not panic")
+}
+
+func TestBlockReleasedByClose(t *testing.T) {
+	defer Reset()
+	release := make(chan struct{})
+	Activate("t.block", Fault{Block: release})
+	done := make(chan struct{})
+	go func() {
+		Inject("t.block")
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("blocked visit returned before release")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("blocked visit not released by close")
+	}
+}
+
+func TestInjectCtxHonorsCancellation(t *testing.T) {
+	defer Reset()
+	Activate("t.ctx", Fault{Block: make(chan struct{})})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- InjectCtx(ctx, "t.ctx") }()
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("InjectCtx returned %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("InjectCtx did not observe cancellation")
+	}
+}
+
+func TestInjectCtxExpiredDelay(t *testing.T) {
+	defer Reset()
+	Activate("t.expired", Fault{Delay: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := InjectCtx(ctx, "t.expired")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("InjectCtx returned %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("InjectCtx slept past the deadline")
+	}
+}
+
+func TestDeactivateDisarms(t *testing.T) {
+	defer Reset()
+	Activate("t.off", Fault{Panic: true})
+	Deactivate("t.off")
+	Inject("t.off") // must not panic
+	if armed.Load() != 0 {
+		t.Fatalf("armed = %d after deactivate", armed.Load())
+	}
+}

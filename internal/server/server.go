@@ -27,9 +27,18 @@
 // Handlers run concurrently (one goroutine per request, per net/http)
 // against one shared engine; the engine's executor bounds how many k-SOI
 // evaluations are in flight and caches repeated queries.
+//
+// The query path is robust under load and failure: every k-SOI handler
+// threads the request context into the engine, so a client that goes
+// away cancels its evaluation at the next cooperative checkpoint (499
+// accounting), an expired per-query deadline maps to 504, and load shed
+// by the engine's admission control maps to 503 with a Retry-After
+// hint. The batch endpoint rejects non-POST methods with 405 and caps
+// its request body with Config.MaxBatchBytes (413 on overflow).
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,15 +52,45 @@ import (
 	"repro/internal/stats"
 )
 
-// Server routes HTTP requests to an Engine.
-type Server struct {
-	engine *soi.Engine
-	mux    *http.ServeMux
+// StatusClientClosedRequest is the nginx-convention 499 status recorded
+// when the client cancelled the request before the answer was ready. No
+// client sees it (the connection is gone); it keeps access accounting
+// honest.
+const StatusClientClosedRequest = 499
+
+// DefaultMaxBatchBytes bounds the /api/streets/batch request body when
+// Config leaves MaxBatchBytes zero: 1 MiB fits the 1024-query batch
+// limit with room to spare while keeping a hostile body from exhausting
+// memory.
+const DefaultMaxBatchBytes = 1 << 20
+
+// Config tunes the HTTP layer's robustness knobs.
+type Config struct {
+	// MaxBatchBytes caps the /api/streets/batch request body; bodies over
+	// the cap get the uniform JSON error with status 413. 0 means
+	// DefaultMaxBatchBytes; negative disables the cap.
+	MaxBatchBytes int64
 }
 
-// New wires the handler set around an engine.
+// Server routes HTTP requests to an Engine.
+type Server struct {
+	engine        *soi.Engine
+	mux           *http.ServeMux
+	maxBatchBytes int64
+}
+
+// New wires the handler set around an engine with default Config.
 func New(engine *soi.Engine) *Server {
-	s := &Server{engine: engine, mux: http.NewServeMux()}
+	return NewWithConfig(engine, Config{})
+}
+
+// NewWithConfig wires the handler set around an engine.
+func NewWithConfig(engine *soi.Engine, cfg Config) *Server {
+	maxBatch := cfg.MaxBatchBytes
+	if maxBatch == 0 {
+		maxBatch = DefaultMaxBatchBytes
+	}
+	s := &Server{engine: engine, mux: http.NewServeMux(), maxBatchBytes: maxBatch}
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/streets", s.handleStreets)
 	s.mux.HandleFunc("/api/streets/batch", s.handleStreetsBatch)
@@ -88,6 +127,29 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// writeQueryError maps a query-path error to its robustness-aware
+// status: shed load → 503 with a Retry-After hint, an expired per-query
+// deadline → 504, a client that went away → 499 (accounting only; the
+// connection is gone), a recovered evaluation panic → 500, anything
+// else → 400.
+func writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	var pe *soi.PanicError
+	switch {
+	case errors.Is(err, soi.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		writeError(w, StatusClientClosedRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.As(err, &pe):
+		// A recovered evaluation panic is a server fault, not a bad query.
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
 }
 
 // queryFloat parses an optional float parameter with a default.
@@ -226,16 +288,16 @@ func (s *Server) handleStreets(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := streetsResponse{}
 	if traceWanted(r) {
-		res, trace, err := s.engine.TopStreetsTraced(q)
+		res, trace, err := s.engine.TopStreetsTracedCtx(r.Context(), q)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeQueryError(w, r, err)
 			return
 		}
 		resp.Streets, resp.Trace = res, &trace
 	} else {
-		res, err := s.engine.TopStreets(q)
+		res, err := s.engine.TopStreetsCtx(r.Context(), q)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeQueryError(w, r, err)
 			return
 		}
 		resp.Streets = res
@@ -282,11 +344,21 @@ const maxBatchQueries = 1024
 
 func (s *Server) handleStreetsBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
+	if s.maxBatchBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBatchBytes)
+	}
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte batch limit", tooLarge.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
@@ -311,9 +383,13 @@ func (s *Server) handleStreetsBatch(w http.ResponseWriter, r *http.Request) {
 		qs[i] = soi.Query{Keywords: q.Keywords, K: k, Epsilon: eps}
 	}
 	withTrace := traceWanted(r)
-	results := s.engine.TopStreetsBatch(qs)
+	results := s.engine.TopStreetsBatchCtx(r.Context(), qs)
 	resp := batchResponse{Results: make([]batchEntry, len(results))}
+	allShed := len(results) > 0
 	for i, res := range results {
+		if res.Err == nil || !errors.Is(res.Err, soi.ErrOverloaded) {
+			allShed = false
+		}
 		if res.Err != nil {
 			resp.Results[i] = batchEntry{Error: res.Err.Error()}
 			continue
@@ -327,6 +403,13 @@ func (s *Server) handleStreetsBatch(w http.ResponseWriter, r *http.Request) {
 			trace := res.Trace
 			resp.Results[i].Trace = &trace
 		}
+	}
+	if allShed {
+		// Every query in the batch was shed: surface the overload as a
+		// retryable 503 (the per-entry errors still describe each query).
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -407,9 +490,9 @@ func (s *Server) handleTour(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	tour, err := s.engine.RecommendTour(q, budget)
+	tour, err := s.engine.RecommendTourCtx(r.Context(), q, budget)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeQueryError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, tour)

@@ -45,6 +45,13 @@ func (s Snapshot) counterRows() []counterRow {
 		{"engine_queue_depth", s.Engine.QueueDepth, true},
 		{"engine_peak_queue_depth", s.Engine.PeakQueueDepth, true},
 		{"engine_busy_ns", s.Engine.BusyNanos, false},
+		// Robustness outcomes: kept un-prefixed so they read as
+		// service-level counters (soi_shed_total, soi_cancelled_total,
+		// soi_deadline_exceeded_total, soi_panics_recovered_total).
+		{"shed", s.Engine.Shed, false},
+		{"cancelled", s.Engine.Cancelled, false},
+		{"deadline_exceeded", s.Engine.DeadlineExceeded, false},
+		{"panics_recovered", s.Engine.PanicsRecovered, false},
 		{"diversify_summaries", s.Diversify.Summaries, false},
 		{"diversify_iterations", s.Diversify.Iterations, false},
 		{"diversify_candidate_photos", s.Diversify.CandidatePhotos, false},

@@ -110,6 +110,18 @@ type EngineStats struct {
 	// BusyNanos accumulates wall time spent inside evaluations;
 	// utilization over an interval is BusyNanos / (workers × interval).
 	BusyNanos Counter
+	// Shed counts queries rejected by admission control (ErrOverloaded):
+	// the wait queue was at depth or the max queue wait elapsed.
+	Shed Counter
+	// Cancelled counts queries that ended with context.Canceled — the
+	// 499-style "client went away" outcome.
+	Cancelled Counter
+	// DeadlineExceeded counts queries that ended with
+	// context.DeadlineExceeded (per-query deadline or caller timeout).
+	DeadlineExceeded Counter
+	// PanicsRecovered counts evaluations that panicked and were isolated
+	// into a per-query error instead of crashing the process.
+	PanicsRecovered Counter
 	// QueueWait is the distribution of time spent waiting for a worker
 	// slot; QueryLatency the distribution of evaluation wall time.
 	QueueWait    Histogram
@@ -178,6 +190,10 @@ type EngineSnapshot struct {
 	QueueDepth        int64             `json:"queue_depth"`
 	PeakQueueDepth    int64             `json:"peak_queue_depth"`
 	BusyNanos         int64             `json:"busy_ns"`
+	Shed              int64             `json:"shed"`
+	Cancelled         int64             `json:"cancelled"`
+	DeadlineExceeded  int64             `json:"deadline_exceeded"`
+	PanicsRecovered   int64             `json:"panics_recovered"`
 	QueueWait         HistogramSnapshot `json:"queue_wait"`
 	QueryLatency      HistogramSnapshot `json:"query_latency"`
 }
@@ -239,6 +255,10 @@ func (r *Recorder) Snapshot() Snapshot {
 			QueueDepth:        r.Engine.QueueDepth.Load(),
 			PeakQueueDepth:    r.Engine.PeakQueueDepth.Load(),
 			BusyNanos:         r.Engine.BusyNanos.Load(),
+			Shed:              r.Engine.Shed.Load(),
+			Cancelled:         r.Engine.Cancelled.Load(),
+			DeadlineExceeded:  r.Engine.DeadlineExceeded.Load(),
+			PanicsRecovered:   r.Engine.PanicsRecovered.Load(),
 			QueueWait:         r.Engine.QueueWait.Snapshot(),
 			QueryLatency:      r.Engine.QueryLatency.Snapshot(),
 		},

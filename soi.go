@@ -21,9 +21,11 @@
 package soi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/diversify"
@@ -74,6 +76,16 @@ type Config struct {
 	// CacheSize is the query result cache capacity; 0 means the engine
 	// default, negative disables caching.
 	CacheSize int
+	// QueueDepth bounds how many k-SOI queries may wait for a worker
+	// slot at once; excess load is shed with ErrOverloaded instead of
+	// queueing unboundedly. 0 disables the bound.
+	QueueDepth int
+	// MaxQueueWait bounds how long an admitted query may wait for a
+	// worker slot before being shed with ErrOverloaded. 0 means no bound.
+	MaxQueueWait time.Duration
+	// QueryTimeout is the per-query deadline applied to every k-SOI
+	// query on top of the caller's context; 0 means none.
+	QueryTimeout time.Duration
 }
 
 // DefaultCellSize is the grid cell side used when Config leaves it zero.
@@ -176,6 +188,16 @@ var ErrUnknownStreet = errors.New("soi: unknown street")
 // associated photos within ε.
 var ErrNoPhotos = diversify.ErrNoPhotos
 
+// ErrOverloaded is returned when the engine's admission control sheds a
+// query instead of queueing it (the bounded wait queue was full or the
+// maximum queue wait elapsed). It signals retryable backpressure.
+var ErrOverloaded = engine.ErrOverloaded
+
+// PanicError is the per-query error a recovered evaluation panic is
+// converted into; the engine keeps serving. Servers should map it to an
+// internal-error status, not a client error.
+type PanicError = engine.PanicError
+
 // NewEngine builds an engine from plain inputs. Streets must have at
 // least two polyline points each.
 func NewEngine(streets []StreetInput, pois []POIInput, photos []PhotoInput, cfg Config) (*Engine, error) {
@@ -230,7 +252,14 @@ func newEngine(net *network.Network, pois *poi.Corpus, photos *photo.Corpus, dic
 		return nil, fmt.Errorf("soi: building index: %w", err)
 	}
 	rec := stats.NewRecorder()
-	exec := engine.New(ix, engine.Config{Workers: cfg.Workers, CacheSize: cfg.CacheSize, Recorder: rec})
+	exec := engine.New(ix, engine.Config{
+		Workers:      cfg.Workers,
+		CacheSize:    cfg.CacheSize,
+		QueueDepth:   cfg.QueueDepth,
+		MaxQueueWait: cfg.MaxQueueWait,
+		QueryTimeout: cfg.QueryTimeout,
+		Recorder:     rec,
+	})
 	return &Engine{net: net, pois: pois, photos: photos, dict: dict, index: ix, exec: exec, rec: rec}, nil
 }
 
@@ -252,7 +281,16 @@ func (e *Engine) NumPhotos() int { return e.photos.Len() }
 // are omitted, so fewer than K results may return. Repeated queries are
 // served from the engine's result cache.
 func (e *Engine) TopStreets(q Query) ([]Street, error) {
-	res := e.exec.Do(core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon})
+	return e.TopStreetsCtx(context.Background(), q)
+}
+
+// TopStreetsCtx is TopStreets under a context: the query observes
+// cancellation promptly (at the worker queue, at dedup joins and at the
+// algorithm's cooperative checkpoints) and the engine's QueryTimeout, if
+// configured, bounds the evaluation. An overloaded engine sheds the
+// query with ErrOverloaded instead of queueing it unboundedly.
+func (e *Engine) TopStreetsCtx(ctx context.Context, q Query) ([]Street, error) {
+	res := e.exec.DoCtx(ctx, core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon})
 	if res.Err != nil {
 		return nil, res.Err
 	}
@@ -323,7 +361,12 @@ func traceOf(res engine.Result) QueryTrace {
 // TopStreetsTraced is TopStreets returning the evaluation's per-stage
 // trace alongside the answer.
 func (e *Engine) TopStreetsTraced(q Query) ([]Street, QueryTrace, error) {
-	res := e.exec.Do(core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon})
+	return e.TopStreetsTracedCtx(context.Background(), q)
+}
+
+// TopStreetsTracedCtx is TopStreetsTraced under a context.
+func (e *Engine) TopStreetsTracedCtx(ctx context.Context, q Query) ([]Street, QueryTrace, error) {
+	res := e.exec.DoCtx(ctx, core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon})
 	if res.Err != nil {
 		return nil, QueryTrace{}, res.Err
 	}
@@ -351,11 +394,18 @@ type BatchResult struct {
 // shared index with the engine's bounded worker pool, returning results
 // in input order. Each query succeeds or fails independently.
 func (e *Engine) TopStreetsBatch(qs []Query) []BatchResult {
+	return e.TopStreetsBatchCtx(context.Background(), qs)
+}
+
+// TopStreetsBatchCtx is TopStreetsBatch under a context: a cancelled
+// context fails the batch's not-yet-evaluated entries promptly, and the
+// engine's QueryTimeout bounds each coalesced evaluation.
+func (e *Engine) TopStreetsBatchCtx(ctx context.Context, qs []Query) []BatchResult {
 	cqs := make([]core.Query, len(qs))
 	for i, q := range qs {
 		cqs[i] = core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon}
 	}
-	results := e.exec.Batch(cqs)
+	results := e.exec.BatchCtx(ctx, cqs)
 	out := make([]BatchResult, len(results))
 	for i, r := range results {
 		if r.Err != nil {
@@ -401,7 +451,13 @@ type Tour struct {
 // within the given length budget (coordinate units), greedily maximizing
 // interest per walking distance.
 func (e *Engine) RecommendTour(q Query, budget float64) (Tour, error) {
-	er := e.exec.Do(core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon})
+	return e.RecommendTourCtx(context.Background(), q, budget)
+}
+
+// RecommendTourCtx is RecommendTour under a context; the k-SOI
+// evaluation it builds on observes cancellation and deadlines.
+func (e *Engine) RecommendTourCtx(ctx context.Context, q Query, budget float64) (Tour, error) {
+	er := e.exec.DoCtx(ctx, core.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon})
 	if er.Err != nil {
 		return Tour{}, er.Err
 	}
