@@ -49,6 +49,7 @@ func main() {
 		cities   = flag.String("cities", "london,berlin,vienna", "comma-separated subset of cities")
 		parallel = flag.Int("parallel", 0, "run the parallel query throughput benchmark with N workers and exit")
 		queries  = flag.Int("queries", 150, "workload size per city for -parallel and -stats")
+		seed     = flag.Int64("seed", 1, "workload shuffle seed for -parallel/-stats runs, printed for reproducibility (0 keeps enumeration order)")
 		withStat = flag.Bool("stats", false, "run the workload through an instrumented engine and print the observability snapshot")
 		statsOut = flag.String("statsout", "", "write the -stats snapshot as JSON to this file (implies -stats)")
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget for a -parallel/-stats run; a run cut short exits non-zero")
@@ -75,7 +76,7 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		if err := runParallel(ctx, *cities, *scale, *parallel, *queries, *withStat, *statsOut, *deadline); err != nil {
+		if err := runParallel(ctx, *cities, *scale, *parallel, *queries, *seed, *withStat, *statsOut, *deadline); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				log.Fatalf("run cut short by -timeout %v: %v", *timeout, err)
 			}
@@ -221,7 +222,7 @@ func main() {
 // document for trend tracking across runs. The context bounds the whole
 // run (-timeout) and deadline bounds each query (-deadline); either cut
 // surfaces as a context error and a non-zero exit.
-func runParallel(ctx context.Context, cities string, scale float64, workers, queries int, withStats bool, statsOut string, deadline time.Duration) error {
+func runParallel(ctx context.Context, cities string, scale float64, workers, queries int, seed int64, withStats bool, statsOut string, deadline time.Duration) error {
 	out := os.Stdout
 	start := time.Now()
 	fmt.Fprintf(out, "Loading cities (scale %g)...\n", scale)
@@ -229,8 +230,12 @@ func runParallel(ctx context.Context, cities string, scale float64, workers, que
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "Loaded %d cities in %v.\n\n", len(citiesList), time.Since(start).Round(time.Millisecond))
-	artifact := statsArtifact{Scale: scale, Workers: workers, Queries: queries, Cities: map[string]stats.Snapshot{}}
+	fmt.Fprintf(out, "Loaded %d cities in %v.\n", len(citiesList), time.Since(start).Round(time.Millisecond))
+	// The workload RNG is seeded explicitly and the seed always printed,
+	// so any run — including one with a hand-picked seed — can be
+	// reproduced exactly from its own output.
+	fmt.Fprintf(out, "Workload seed %d (rerun with -seed %d to reproduce).\n\n", seed, seed)
+	artifact := statsArtifact{Scale: scale, Workers: workers, Queries: queries, Seed: seed, Cities: map[string]stats.Snapshot{}}
 	for _, c := range citiesList {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("before %s: %w", c.Name(), err)
@@ -240,7 +245,7 @@ func runParallel(ctx context.Context, cities string, scale float64, workers, que
 			rec = stats.NewRecorder()
 		}
 		if workers > 0 {
-			res, err := experiments.ParallelBenchContext(ctx, c, workers, queries, rec, deadline)
+			res, err := experiments.ParallelBenchSeeded(ctx, c, workers, queries, seed, rec, deadline)
 			if err != nil {
 				return err
 			}
@@ -253,7 +258,7 @@ func runParallel(ctx context.Context, cities string, scale float64, workers, que
 			// Stats-only run: evaluate the workload once through an
 			// instrumented executor, without the sequential baseline.
 			exec := engine.New(c.Index, engine.Config{CacheSize: -1, Recorder: rec, QueryTimeout: deadline})
-			for i, r := range exec.BatchCtx(ctx, experiments.ParallelWorkload(queries)) {
+			for i, r := range exec.BatchCtx(ctx, experiments.ParallelWorkloadSeeded(queries, seed)) {
 				if r.Err != nil {
 					return fmt.Errorf("stats query %d on %s: %w", i, c.Name(), r.Err)
 				}
@@ -285,6 +290,7 @@ type statsArtifact struct {
 	Scale   float64                   `json:"scale"`
 	Workers int                       `json:"workers"`
 	Queries int                       `json:"queries"`
+	Seed    int64                     `json:"seed"`
 	Cities  map[string]stats.Snapshot `json:"cities"`
 }
 

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+)
+
+func TestRunQuickSliceIsClean(t *testing.T) {
+	var buf strings.Builder
+	code := run([]string{"-seeds", "0:3", "-quick", "-workers", "2", "-out", t.TempDir()}, &buf)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "OK") || !strings.Contains(buf.String(), "0 divergences") {
+		t.Fatalf("unexpected output: %s", buf.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-seeds", "5:4"},
+		{"-seeds", "abc"},
+		{"-seeds", "-3:2"},
+		{"-seeds", "0:2", "-workers", "0"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		var buf strings.Builder
+		if code := run(args, &buf); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	lo, hi, err := parseRange("10:200")
+	if err != nil || lo != 10 || hi != 200 {
+		t.Fatalf("parseRange(10:200) = %d, %d, %v", lo, hi, err)
+	}
+	for _, bad := range []string{"", "5", "5:", ":5", "5:5", "x:y"} {
+		if _, _, err := parseRange(bad); err == nil {
+			t.Errorf("parseRange(%q): want error", bad)
+		}
+	}
+}
+
+// TestWriteRepro exercises the repro writer with a fabricated divergence:
+// the predicate won't re-fire (the implementations agree), so the
+// unshrunk world is serialized with the annotation feature attached.
+func TestWriteRepro(t *testing.T) {
+	dir := t.TempDir()
+	cfg := oracle.MatrixConfigs(1, true)[0]
+	div := oracle.Divergence{
+		Impl:     "soi/cost-aware",
+		CellSize: 0.0005,
+		Query:    core.Query{Keywords: []string{"shop"}, K: 3, Epsilon: 0.0005},
+		Detail:   "fabricated for the writer test",
+	}
+	path, err := writeRepro(dir, cfg, div, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "soicheck-repro-seed1.geojson" {
+		t.Fatalf("unexpected repro name %s", path)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FeatureCollection", "soicheck-divergence", "soi/cost-aware", "shop"} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("repro missing %q:\n%.300s", want, b)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataio"
+)
+
+// The tests re-exec the test binary as the CLI (see cmd/soigen's tests
+// for the pattern) against a Small(1) dataset written once per run.
+func TestMain(m *testing.M) {
+	if os.Getenv("SOIQUERY_BE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+var (
+	dataOnce sync.Once
+	dataPath string
+	dataErr  error
+)
+
+func dataDir(t *testing.T) string {
+	t.Helper()
+	dataOnce.Do(func() {
+		dataPath, dataErr = os.MkdirTemp("", "soiquery-test-*")
+		if dataErr != nil {
+			return
+		}
+		var ds *datagen.Dataset
+		ds, dataErr = datagen.Generate(datagen.Small(1))
+		if dataErr != nil {
+			return
+		}
+		write := func(name string, fill func(*bufio.Writer) error) {
+			if dataErr != nil {
+				return
+			}
+			var f *os.File
+			f, dataErr = os.Create(filepath.Join(dataPath, name))
+			if dataErr != nil {
+				return
+			}
+			w := bufio.NewWriter(f)
+			if dataErr = fill(w); dataErr == nil {
+				dataErr = w.Flush()
+			}
+			f.Close()
+		}
+		write("streets.csv", func(w *bufio.Writer) error { return dataio.WriteNetwork(w, ds.Network) })
+		write("pois.csv", func(w *bufio.Writer) error { return dataio.WritePOIs(w, ds.POIs) })
+		write("photos.csv", func(w *bufio.Writer) error { return dataio.WritePhotos(w, ds.Photos) })
+	})
+	if dataErr != nil {
+		t.Fatal(dataErr)
+	}
+	return dataPath
+}
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, exit int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SOIQUERY_BE_MAIN=1")
+	var out, errb strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	exit = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), errb.String(), exit
+}
+
+// TestIdentifyGolden pins the CLI's ranking on the deterministic Small(1)
+// dataset: exact street order, interests and masses (whitespace and the
+// elapsed-time suffix excluded). Changing the query path, the CSV
+// round-trip or the datagen profile shows up here.
+func TestIdentifyGolden(t *testing.T) {
+	stdout, stderr, exit := runCLI(t, "-data", dataDir(t), "-keywords", "shop", "-k", "3")
+	if exit != 0 {
+		t.Fatalf("exit %d, stderr: %s", exit, stderr)
+	}
+	for _, want := range []string{
+		"top-3 streets for Ψ=[shop] (ε=0.0005)",
+		"1. Friedrichstraße",
+		"interest 33876085.6 (best-segment mass 54)",
+		"2. Münzstraße",
+		"interest 33364777.0 (best-segment mass 63)",
+		"3. Mäusetunnel",
+		"interest 31184864.3 (best-segment mass 81)",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestIdentifyBaselineAgrees(t *testing.T) {
+	fast, _, exit := runCLI(t, "-data", dataDir(t), "-keywords", "shop,food", "-k", "5")
+	if exit != 0 {
+		t.Fatalf("SOI exit %d", exit)
+	}
+	slow, _, exit := runCLI(t, "-data", dataDir(t), "-keywords", "shop,food", "-k", "5", "-baseline")
+	if exit != 0 {
+		t.Fatalf("baseline exit %d", exit)
+	}
+	// Ranking lines (everything after the header) must match; the header
+	// differs only in elapsed time, which the comparison drops.
+	trim := func(s string) string {
+		_, rest, ok := strings.Cut(s, ":\n")
+		if !ok {
+			t.Fatalf("unexpected output shape: %s", s)
+		}
+		return rest
+	}
+	if trim(fast) != trim(slow) {
+		t.Fatalf("-baseline ranking differs:\nSOI:\n%s\nBL:\n%s", fast, slow)
+	}
+}
+
+func TestDescribeGolden(t *testing.T) {
+	stdout, stderr, exit := runCLI(t, "-data", dataDir(t),
+		"-describe", "Neue Schönhauser Straße", "-photos", "3")
+	if exit != 0 {
+		t.Fatalf("exit %d, stderr: %s", exit, stderr)
+	}
+	for _, want := range []string{
+		`3-photo summary of "Neue Schönhauser Straße" (|Rs|=255, λ=0.5, w=0.5, F=0.469`,
+		"(0.049860, 0.037046)",
+		"(0.041857, 0.037186)",
+		"(0.048580, 0.037251)",
+		"neue schönhauser straße",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestGeoJSONOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "res.geojson")
+	_, stderr, exit := runCLI(t, "-data", dataDir(t), "-keywords", "shop", "-k", "2", "-geojson", out)
+	if exit != 0 {
+		t.Fatalf("exit %d, stderr: %s", exit, stderr)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FeatureCollection", "Friedrichstraße"} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("geojson missing %q", want)
+		}
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	// No query mode selected.
+	if _, stderr, exit := runCLI(t, "-data", dataDir(t)); exit == 0 {
+		t.Fatal("missing -keywords accepted")
+	} else if !strings.Contains(stderr, "provide -keywords") {
+		t.Fatalf("stderr %q missing diagnosis", stderr)
+	}
+	// Nonexistent dataset directory.
+	if _, _, exit := runCLI(t, "-data", "/nonexistent-path", "-keywords", "shop"); exit == 0 {
+		t.Fatal("bad -data accepted")
+	}
+	// Unknown street for -describe.
+	if _, stderr, exit := runCLI(t, "-data", dataDir(t), "-describe", "No Such Street"); exit == 0 {
+		t.Fatal("unknown street accepted")
+	} else if !strings.Contains(stderr, "unknown street") {
+		t.Fatalf("stderr %q missing diagnosis", stderr)
+	}
+	// Invalid query parameters.
+	if _, _, exit := runCLI(t, "-data", dataDir(t), "-keywords", "shop", "-k", "0"); exit == 0 {
+		t.Fatal("k=0 accepted")
+	}
+	// Unknown flag exits 2 (flag package convention).
+	if _, _, exit := runCLI(t, "-bogus"); exit != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", exit)
+	}
+}

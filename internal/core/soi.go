@@ -793,6 +793,13 @@ func (r *soiRun) refine() ([]StreetResult, error) {
 	return out, nil
 }
 
+// SortResults orders street results canonically: by decreasing interest,
+// breaking ties by ascending street id. Every evaluator in this package
+// reports results in this order; external reference implementations (the
+// brute-force oracle in internal/oracle) use it so that result lists are
+// comparable element-wise.
+func SortResults(rs []StreetResult) { sortResults(rs) }
+
 // sortResults orders street results by decreasing interest, breaking ties
 // by street id.
 func sortResults(rs []StreetResult) {

@@ -316,6 +316,44 @@ func Small(seed int64) Profile {
 	return p
 }
 
+// Tiny returns a miniature city for the correctness harness: a handful of
+// avenues, a few dozen local streets and a few hundred POIs, small enough
+// that the brute-force oracle (pairwise point-to-segment distances over
+// every POI × segment pair) evaluates in microseconds, yet large enough to
+// exercise multi-cell segments, street ties and planted-density skew.
+// soicheck sweeps hundreds of Tiny seeds per run.
+func Tiny(seed int64) Profile {
+	p := Small(seed)
+	p.Name = "Tinytown"
+	p.Extent = geo.R(0, 0, 0.02, 0.016)
+	p.AvenuesH, p.AvenuesV, p.Diagonals = 3, 4, 1
+	p.LocalStreets = 24
+	p.NumPOIs = 320
+	p.NumPhotos = 160
+	p.HotStreetPhotos = 60
+	// One planted site is enough for skew; keep the densest Berlin site and
+	// the luxury (weighted) site so both code paths stay covered.
+	p.ShopSites = []SiteSpec{
+		{
+			Streets: []string{"Neue Schönhauser Straße", "Münzstraße"},
+			Center:  geo.Pt(0.60, 0.62),
+			Density: 1.0,
+		},
+		{
+			Streets:  []string{"Kurfürstendamm"},
+			Center:   geo.Pt(0.29, 0.39),
+			Density:  0.45,
+			Prestige: 3,
+		},
+	}
+	p.SourceLists = [2][]string{
+		{"Neue Schönhauser Straße", "Münzstraße"},
+		{"Kurfürstendamm", "Neue Schönhauser Straße"},
+	}
+	p.PhotoStreet = "Neue Schönhauser Straße"
+	return p
+}
+
 // Scale returns the profile with its data volume multiplied by f while
 // preserving spatial density (the property the algorithms are sensitive
 // to): the city extent and the avenue counts shrink by √f, so street

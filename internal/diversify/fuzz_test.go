@@ -1,0 +1,103 @@
+package diversify
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/network"
+	"repro/internal/photo"
+)
+
+// FuzzExtract drives the grid-accelerated photo association against the
+// exhaustive full scan: for any fuzz-decoded photo corpus, cell size and
+// ε, PhotoIndex.StreetPhotos must return exactly the photos (and the
+// exact maxD normalizer) of ExtractStreetPhotos on every street. The
+// decoder packs 5 bytes per photo (x, y, tag) after two header bytes
+// (ε, cell size), so the fuzzer controls clustering, duplicates,
+// photos far outside the network and photos equidistant to several
+// segments.
+func FuzzExtract(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{10, 40})
+	f.Add([]byte{0, 0, 0x10, 0x00, 0x20, 0x00, 1})
+	f.Add([]byte{255, 1, 0xff, 0xff, 0xff, 0xff, 2, 0x00, 0x10, 0x00, 0x20, 3})
+	// Duplicate locations on the street junction.
+	f.Add([]byte{60, 60, 0x80, 0x7f, 0x80, 0x7f, 0, 0x80, 0x7f, 0x80, 0x7f, 4})
+
+	net := fuzzNetwork(f)
+	tagPool := [][]string{
+		{"shop"}, {"sunny", "shop"}, {"rain"}, {"night", "crowd"}, {},
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		// Header: ε in (0, ~0.0012], cell size in (0, ~0.002].
+		eps := 0.00002 + float64(data[0])/255*0.0012
+		cellSize := 0.00005 + float64(data[1])/255*0.002
+		body := data[2:]
+
+		pb := photo.NewBuilder(nil)
+		for len(body) >= 5 {
+			x := float64(binary.LittleEndian.Uint16(body[0:2]))/65535*0.04 - 0.01
+			y := float64(binary.LittleEndian.Uint16(body[2:4]))/65535*0.04 - 0.01
+			pb.Add(geo.Pt(x, y), tagPool[int(body[4])%len(tagPool)])
+			body = body[5:]
+		}
+		corpus := pb.Build()
+		if corpus.Len() == 0 {
+			t.Skip()
+		}
+
+		pi, err := NewPhotoIndex(corpus, cellSize)
+		if err != nil {
+			t.Fatalf("building photo index: %v", err)
+		}
+		for i := range net.Streets() {
+			sid := network.StreetID(i)
+			fast, fastD := pi.StreetPhotos(net, sid, eps)
+			slow, slowD := ExtractStreetPhotos(net, sid, corpus, eps)
+			if math.Float64bits(fastD) != math.Float64bits(slowD) {
+				t.Fatalf("street %d: maxD %v (indexed) vs %v (scan)", sid, fastD, slowD)
+			}
+			if len(fast) != len(slow) {
+				t.Fatalf("street %d: %d photos (indexed) vs %d (scan); eps=%g cell=%g",
+					sid, len(fast), len(slow), eps, cellSize)
+			}
+			for j := range fast {
+				if fast[j].ID != slow[j].ID {
+					t.Fatalf("street %d, position %d: photo %d (indexed) vs %d (scan)",
+						sid, j, fast[j].ID, slow[j].ID)
+				}
+			}
+		}
+	})
+}
+
+// fuzzNetwork is the fixed street layout the extraction fuzzer queries:
+// two horizontal multi-segment streets, a vertical street crossing both,
+// and a short diagonal — enough geometry for photos near several
+// segments of one street and near several streets at once.
+func fuzzNetwork(f *testing.F) *network.Network {
+	b := network.NewBuilder()
+	b.AddStreet("North Row", []geo.Point{
+		geo.Pt(0, 0.012), geo.Pt(0.006, 0.012), geo.Pt(0.012, 0.012), geo.Pt(0.02, 0.012),
+	})
+	b.AddStreet("South Row", []geo.Point{
+		geo.Pt(0, 0.002), geo.Pt(0.01, 0.002), geo.Pt(0.02, 0.002),
+	})
+	b.AddStreet("Cross Street", []geo.Point{
+		geo.Pt(0.01, 0), geo.Pt(0.01, 0.007), geo.Pt(0.01, 0.014),
+	})
+	b.AddStreet("Diagonal Alley", []geo.Point{
+		geo.Pt(0.002, 0.003), geo.Pt(0.005, 0.006),
+	})
+	net, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return net
+}

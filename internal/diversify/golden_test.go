@@ -1,0 +1,107 @@
+package diversify
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/photo"
+)
+
+// The golden test pins the full description pipeline on a fixed world:
+// dataset Small(1), the planted photo street, ε = 0.0005. Any change to
+// photo extraction order, the relevance/diversity arithmetic, the grid
+// bounds or the greedy tie-breaks shows up as a changed photo id or a
+// changed F bit pattern. Update the constants only for a deliberate,
+// understood semantic change.
+
+const goldenStreet = "Neue Schönhauser Straße"
+
+func goldenPool(t *testing.T) (*datagen.Dataset, []photo.Photo, float64) {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Small(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ds.Network.StreetByName(goldenStreet)
+	if st == nil {
+		t.Fatalf("street %q not planted", goldenStreet)
+	}
+	rs, maxD := ExtractStreetPhotos(ds.Network, st.ID, ds.Photos, 0.0005)
+	if len(rs) != 255 {
+		t.Fatalf("photo pool size %d, want 255", len(rs))
+	}
+	if got := math.Float64bits(maxD); got != math.Float64bits(0.009898427662204872) {
+		t.Fatalf("maxD %v, want 0.009898427662204872", maxD)
+	}
+	return ds, rs, maxD
+}
+
+func TestGoldenSummary(t *testing.T) {
+	ds, rs, maxD := goldenPool(t)
+	p := Params{K: 4, Lambda: 0.5, W: 0.5, Rho: 0.0001}
+	ctx, err := NewContext(rs, FreqFromPhotos(ds.Dict, rs), maxD, p.Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctx.STRelDiv(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []photo.ID{1305, 1383, 1419, 1215}
+	if len(res.Selected) != len(wantIDs) {
+		t.Fatalf("selected %d photos, want %d", len(res.Selected), len(wantIDs))
+	}
+	for i, li := range res.Selected {
+		if rs[li].ID != wantIDs[i] {
+			t.Fatalf("selection position %d: photo %d, want %d (selection %v)",
+				i, rs[li].ID, wantIDs[i], res.Selected)
+		}
+	}
+	const wantF = 0.44578717199475304
+	if math.Float64bits(res.Objective) != math.Float64bits(wantF) {
+		t.Fatalf("F = %v, want %v", res.Objective, wantF)
+	}
+
+	// The exact greedy baseline must agree photo for photo on the golden
+	// world — the pruned construction is an optimization, not a variant.
+	base, err := ctx.Baseline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(base.Objective) != math.Float64bits(wantF) {
+		t.Fatalf("baseline F = %v, want %v", base.Objective, wantF)
+	}
+	for i := range res.Selected {
+		if res.Selected[i] != base.Selected[i] {
+			t.Fatalf("baseline selection diverges at %d: %v vs %v", i, base.Selected, res.Selected)
+		}
+	}
+}
+
+func TestGoldenSummaryPureRelevance(t *testing.T) {
+	ds, rs, maxD := goldenPool(t)
+	p := Params{K: 3, Lambda: 0, W: 0.7, Rho: 0.0002}
+	ctx, err := NewContext(rs, FreqFromPhotos(ds.Dict, rs), maxD, p.Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctx.STRelDiv(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSel := []int{110, 145, 116}
+	for i := range wantSel {
+		if res.Selected[i] != wantSel[i] {
+			t.Fatalf("λ=0 selection %v, want %v", res.Selected, wantSel)
+		}
+	}
+	const wantF = 0.2393577823997535
+	if math.Float64bits(res.Objective) != math.Float64bits(wantF) {
+		t.Fatalf("λ=0 F = %v, want %v", res.Objective, wantF)
+	}
+	// At λ=0 the objective IS the mean relevance of the selection.
+	if got := ctx.RelScore(res.Selected, p.W); math.Float64bits(got) != math.Float64bits(res.Objective) {
+		t.Fatalf("λ=0 objective %v differs from mean relevance %v", res.Objective, got)
+	}
+}

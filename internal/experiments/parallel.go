@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"time"
 
 	"repro/internal/core"
@@ -77,6 +78,22 @@ func ParallelWorkload(n int) []core.Query {
 	return out
 }
 
+// ParallelWorkloadSeeded is ParallelWorkload shuffled by an explicitly
+// seeded deterministic RNG, so a benchmark run can vary the arrival order
+// (which drives executor scheduling and cache interleaving) while staying
+// exactly reproducible from the printed seed. Seed 0 keeps the canonical
+// enumeration order.
+func ParallelWorkloadSeeded(n int, seed int64) []core.Query {
+	queries := ParallelWorkload(n)
+	if seed != 0 {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(queries), func(i, j int) {
+			queries[i], queries[j] = queries[j], queries[i]
+		})
+	}
+	return queries
+}
+
 // ParallelBench runs the default synthetic workload over the city's
 // shared index twice — a sequential loop of standalone evaluations, then
 // the batch executor with the given worker count — and verifies the
@@ -102,7 +119,13 @@ func ParallelBenchRecorded(c *City, workers, n int, rec *stats.Recorder) (Parall
 // and a non-zero deadline is applied to every executor query, so the
 // bench harness exercises the engine's cancellation path end to end.
 func ParallelBenchContext(ctx context.Context, c *City, workers, n int, rec *stats.Recorder, deadline time.Duration) (ParallelResult, error) {
-	queries := ParallelWorkload(n)
+	return ParallelBenchSeeded(ctx, c, workers, n, 0, rec, deadline)
+}
+
+// ParallelBenchSeeded is ParallelBenchContext over the seed-shuffled
+// workload (see ParallelWorkloadSeeded).
+func ParallelBenchSeeded(ctx context.Context, c *City, workers, n int, seed int64, rec *stats.Recorder, deadline time.Duration) (ParallelResult, error) {
+	queries := ParallelWorkloadSeeded(n, seed)
 	res := ParallelResult{City: c.Name(), Workers: workers, Queries: len(queries)}
 
 	seq := make([][]core.StreetResult, len(queries))

@@ -15,6 +15,7 @@ import (
 	"repro/internal/diversify"
 	"repro/internal/network"
 	"repro/internal/photo"
+	"repro/internal/poi"
 	"repro/internal/route"
 	"repro/internal/vocab"
 )
@@ -81,6 +82,66 @@ func (fc *FeatureCollection) AddStreets(net *network.Network, results []core.Str
 				"name":     r.Name,
 				"interest": r.Interest,
 				"mass":     r.Mass,
+			},
+		})
+	}
+}
+
+// AddNetwork appends every street of a road network as a LineString
+// feature carrying its name and id, so a whole world can be serialized
+// for inspection (the soicheck repro format).
+func (fc *FeatureCollection) AddNetwork(net *network.Network) {
+	for i := range net.Streets() {
+		id := network.StreetID(i)
+		fc.Features = append(fc.Features, Feature{
+			Type: "Feature",
+			Geometry: Geometry{
+				Type:        "LineString",
+				Coordinates: streetLine(net, id),
+			},
+			Properties: map[string]interface{}{
+				"kind":   "street",
+				"street": int(id),
+				"name":   net.Street(id).Name,
+			},
+		})
+	}
+}
+
+// AddPOIs appends every POI of a corpus as a Point feature carrying its
+// keywords and weight.
+func (fc *FeatureCollection) AddPOIs(corpus *poi.Corpus) {
+	dict := corpus.Dict()
+	for _, p := range corpus.All() {
+		fc.Features = append(fc.Features, Feature{
+			Type: "Feature",
+			Geometry: Geometry{
+				Type:        "Point",
+				Coordinates: []float64{p.Loc.X, p.Loc.Y},
+			},
+			Properties: map[string]interface{}{
+				"kind":     "poi",
+				"keywords": dict.Names(p.Keywords),
+				"weight":   p.Weight,
+			},
+		})
+	}
+}
+
+// AddPhotos appends every photo of a corpus as a Point feature carrying
+// its tags.
+func (fc *FeatureCollection) AddPhotos(corpus *photo.Corpus) {
+	dict := corpus.Dict()
+	for _, p := range corpus.All() {
+		fc.Features = append(fc.Features, Feature{
+			Type: "Feature",
+			Geometry: Geometry{
+				Type:        "Point",
+				Coordinates: []float64{p.Loc.X, p.Loc.Y},
+			},
+			Properties: map[string]interface{}{
+				"kind": "photo",
+				"tags": dict.Names(p.Tags),
 			},
 		})
 	}

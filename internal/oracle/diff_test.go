@@ -1,0 +1,61 @@
+package oracle
+
+import (
+	"testing"
+)
+
+// TestDifferentialMatrix is the PR-time slice of the soicheck sweep: for
+// a handful of seeds, every production evaluator must agree with the
+// brute-force oracle on every query of the matrix grid, under every
+// swept index cell size — and the metamorphic relations must hold.
+func TestDifferentialMatrix(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, cfg := range MatrixConfigs(seed, true) {
+			divs, err := CheckConfig(cfg, Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", cfg.Label(), err)
+			}
+			for _, d := range divs {
+				t.Errorf("%s: %s", cfg.Label(), d)
+			}
+		}
+	}
+}
+
+// TestDifferentialMatrixFull runs one full-mode (three densities,
+// weighted worlds, full query grid) cell to keep the non-quick path
+// exercised by `go test` without the nightly sweep's runtime.
+func TestDifferentialMatrixFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix cell is not short")
+	}
+	for _, cfg := range MatrixConfigs(4, false) {
+		divs, err := CheckConfig(cfg, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Label(), err)
+		}
+		for _, d := range divs {
+			t.Errorf("%s: %s", cfg.Label(), d)
+		}
+	}
+}
+
+func TestMatrixQueriesDeterministic(t *testing.T) {
+	a := MatrixQueries(7, false)
+	b := MatrixQueries(7, false)
+	if len(a) == 0 {
+		t.Fatal("empty query grid")
+	}
+	for i := range a {
+		if a[i].K != b[i].K || a[i].Epsilon != b[i].Epsilon || len(a[i].Keywords) != len(b[i].Keywords) {
+			t.Fatalf("query grid not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if err := a[i].Validate(); err != nil {
+			t.Fatalf("grid query %d invalid: %v", i, err)
+		}
+	}
+	quick := MatrixQueries(7, true)
+	if len(quick) >= len(a) {
+		t.Fatalf("quick grid (%d) not smaller than full grid (%d)", len(quick), len(a))
+	}
+}

@@ -1,0 +1,179 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/diversify"
+	"repro/internal/network"
+)
+
+// This file is the matrix layer: it turns a seed into deterministic
+// worlds and query grids so `go test` and the soicheck CLI sweep exactly
+// the same configurations.
+
+// SeedConfig is one cell of the check matrix: a world (seed × POI
+// density × weighted or not) plus the queries to run over it.
+type SeedConfig struct {
+	Seed int64
+	// Density multiplies the Tiny profile's POI count (the |P| dimension
+	// of the matrix).
+	Density float64
+	// Weighted applies the dataset's prestige weights, exercising the
+	// weighted-mass paths.
+	Weighted bool
+	Queries  []core.Query
+}
+
+// Label names the config in reports.
+func (c SeedConfig) Label() string {
+	return fmt.Sprintf("seed=%d density=%g weighted=%t", c.Seed, c.Density, c.Weighted)
+}
+
+// BuildWorld materializes the config's world deterministically.
+func (c SeedConfig) BuildWorld() (World, error) {
+	p := datagen.Tiny(c.Seed)
+	if c.Density > 0 {
+		p.NumPOIs = int(float64(p.NumPOIs) * c.Density)
+		p.NumPhotos = int(float64(p.NumPhotos) * c.Density)
+		if p.HotStreetPhotos > p.NumPhotos {
+			p.HotStreetPhotos = p.NumPhotos
+		}
+	}
+	ds, err := datagen.Generate(p)
+	if err != nil {
+		return World{}, err
+	}
+	if c.Weighted {
+		return FromDatasetWeighted(ds), nil
+	}
+	return FromDataset(ds), nil
+}
+
+// matrixVocab is the keyword pool the query grid draws from: the Tiny
+// profile's categories, "shop", two long-tail noise words, and one word
+// no POI carries (so empty-result and dropped-keyword paths stay covered).
+var matrixVocab = []string{
+	"shop", "food", "services", "education", "hotel", "park", "museum",
+	"religion", "market", "cafe", "quixotic",
+}
+
+// matrixEpsilons spans sub-segment to multi-cell buffers on the Tiny
+// extent (local segments are ~0.0013 long).
+var matrixEpsilons = []float64{0.0002, 0.0005, 0.0012}
+
+// matrixKs spans trivial, typical and larger-than-result-set k.
+var matrixKs = []int{1, 3, 25}
+
+// MatrixQueries returns the deterministic query grid for a seed: the
+// full ε × k cross product with |Ψ| cycling 1..3 over the keyword pool,
+// or a 3-query slice of it in quick mode. Different seeds rotate through
+// different keyword combinations.
+func MatrixQueries(seed int64, quick bool) []core.Query {
+	var out []core.Query
+	n := 0
+	for ki, k := range matrixKs {
+		for ei, eps := range matrixEpsilons {
+			if quick && ki != ei {
+				continue
+			}
+			psi := 1 + n%3
+			kws := make([]string, 0, psi)
+			for j := 0; j < psi; j++ {
+				kws = append(kws, matrixVocab[int(seed*7+int64(n*5+j*3))%len(matrixVocab)])
+			}
+			out = append(out, core.Query{Keywords: dedup(kws), K: k, Epsilon: eps})
+			n++
+		}
+	}
+	return out
+}
+
+func dedup(words []string) []string {
+	seen := make(map[string]bool, len(words))
+	out := words[:0]
+	for _, w := range words {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// MatrixConfigs returns the matrix cells for one seed: a single
+// unit-density world in quick mode, three densities (one weighted) in
+// full mode.
+func MatrixConfigs(seed int64, quick bool) []SeedConfig {
+	queries := MatrixQueries(seed, quick)
+	if quick {
+		return []SeedConfig{{Seed: seed, Density: 1, Weighted: seed%2 == 1, Queries: queries}}
+	}
+	return []SeedConfig{
+		{Seed: seed, Density: 0.5, Weighted: false, Queries: queries},
+		{Seed: seed, Density: 1, Weighted: seed%2 == 1, Queries: queries},
+		{Seed: seed, Density: 2, Weighted: true, Queries: queries},
+	}
+}
+
+// SummaryParams are the diversification parameters the per-world summary
+// cross-check uses.
+var SummaryParams = diversify.Params{K: 3, Lambda: 0.4, W: 0.5, Rho: 0.0004}
+
+// MaxSummaryPool caps the photo pool of the diversification cross-check
+// so exhaustive enumeration stays cheap (C(12,3) subsets).
+const MaxSummaryPool = 12
+
+// CheckSummary cross-checks the diversification layer over the world's
+// photo-richest street, truncating the pool to MaxSummaryPool photos.
+// Worlds whose richest street has fewer than two photos are skipped.
+func CheckSummary(w World, p diversify.Params) ([]Divergence, error) {
+	net, _, photos, dict, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	if photos.Len() == 0 || net.NumStreets() == 0 {
+		return nil, nil
+	}
+	const eps = 0.0005
+	bestStreet, bestCount := network.StreetID(0), -1
+	for i := range net.Streets() {
+		rs, _ := diversify.ExtractStreetPhotos(net, network.StreetID(i), photos, eps)
+		if len(rs) > bestCount {
+			bestStreet, bestCount = network.StreetID(i), len(rs)
+		}
+	}
+	rs, maxD := diversify.ExtractStreetPhotos(net, bestStreet, photos, eps)
+	if len(rs) < 2 || maxD <= 0 {
+		return nil, nil
+	}
+	if len(rs) > MaxSummaryPool {
+		rs = rs[:MaxSummaryPool]
+	}
+	sum := Summary{Photos: rs, Freq: diversify.FreqFromPhotos(dict, rs), MaxD: maxD}
+	return DiffSummary(sum, p, MaxSummaryPool)
+}
+
+// CheckConfig runs the whole battery — differential matrix, metamorphic
+// suite and diversification cross-check — over one matrix cell.
+func CheckConfig(c SeedConfig, opt Options) ([]Divergence, error) {
+	w, err := c.BuildWorld()
+	if err != nil {
+		return nil, fmt.Errorf("oracle: building world (%s): %w", c.Label(), err)
+	}
+	divs, err := DiffWorld(w, c.Queries, opt)
+	if err != nil {
+		return nil, err
+	}
+	mdivs, err := Metamorphic(w, c.Queries, opt)
+	if err != nil {
+		return nil, err
+	}
+	sdivs, err := CheckSummary(w, SummaryParams)
+	if err != nil {
+		return nil, err
+	}
+	divs = append(divs, mdivs...)
+	return append(divs, sdivs...), nil
+}

@@ -1,0 +1,167 @@
+package oracle
+
+import (
+	"math"
+
+	"repro/internal/photo"
+	"repro/internal/vocab"
+)
+
+// This file is the brute-force reference for the paper's second problem:
+// the MaxSum diversification objective F of Eq. 2–5 over a street's photo
+// set Rs, evaluated with no grid, no per-cell bounds and no precomputed
+// neighborhood counts, and maximized by exhaustive subset enumeration.
+// Everything is recomputed from the definitions on every call:
+//
+//	Def. 4  spatial_rel(r)   = |{r' ∈ Rs : dist(r, r') ≤ ρ}| / |Rs|
+//	Def. 5  spatial_div(r,r')= dist(r, r') / maxD(s)
+//	Def. 6  textual_rel(r)   = Σ_{ψ∈Ψr} Φs(ψ) / ‖Φs‖₁
+//	Def. 7  textual_div(r,r')= Jaccard distance of the tag sets
+//	Eq. 4   rel(R) = Σ rel(r) / |R|        (rel = w·spatial + (1−w)·textual)
+//	Eq. 5   div(R) = Σ div(r,r') · 2/(|R|(|R|−1)) over unordered pairs
+//	Eq. 2   F(R)   = (1−λ)·rel(R) + λ·div(R)
+
+// Summary bundles the inputs of the diversification objective: the
+// street's photos Rs, its keyword frequency vector Φs and the diversity
+// normalizer maxD(s).
+type Summary struct {
+	Photos []photo.Photo
+	Freq   vocab.Freq
+	MaxD   float64
+}
+
+// SpatialRel computes Def. 4 for photo i by scanning all of Rs.
+func (s Summary) SpatialRel(i int, rho float64) float64 {
+	cnt := 0
+	for j := range s.Photos {
+		if s.Photos[i].Loc.Dist(s.Photos[j].Loc) <= rho {
+			cnt++
+		}
+	}
+	return float64(cnt) / float64(len(s.Photos))
+}
+
+// TextualRel computes Def. 6 for photo i.
+func (s Summary) TextualRel(i int) float64 {
+	l1 := s.Freq.L1()
+	if l1 == 0 {
+		return 0
+	}
+	return s.Freq.SumOver(s.Photos[i].Tags) / l1
+}
+
+// Rel blends Def. 4 and Def. 6 with weight w on the spatial aspect.
+func (s Summary) Rel(i int, w, rho float64) float64 {
+	return w*s.SpatialRel(i, rho) + (1-w)*s.TextualRel(i)
+}
+
+// Div blends Def. 5 and Def. 7 for a photo pair.
+func (s Summary) Div(i, j int, w float64) float64 {
+	spatial := s.Photos[i].Loc.Dist(s.Photos[j].Loc) / s.MaxD
+	textual := s.Photos[i].Tags.JaccardDistance(s.Photos[j].Tags)
+	return w*spatial + (1-w)*textual
+}
+
+// Objective computes F of Eq. 2 for a selected subset, directly from
+// Eq. 4 and Eq. 5.
+func (s Summary) Objective(selected []int, lambda, w, rho float64) float64 {
+	if len(selected) == 0 {
+		return 0
+	}
+	var rel float64
+	for _, i := range selected {
+		rel += s.Rel(i, w, rho)
+	}
+	rel /= float64(len(selected))
+	var div float64
+	if len(selected) >= 2 {
+		var sum float64
+		for a := 0; a < len(selected); a++ {
+			for b := a + 1; b < len(selected); b++ {
+				sum += s.Div(selected[a], selected[b], w)
+			}
+		}
+		k := float64(len(selected))
+		div = sum / (k * (k - 1) / 2)
+	}
+	return (1-lambda)*rel + lambda*div
+}
+
+// ExhaustiveBest enumerates every k-subset of Rs in lexicographic order
+// and returns the first subset attaining the maximum objective (so ties
+// resolve to the lexicographically smallest subset, matching
+// diversify.Exhaustive's canonical choice) together with its F value.
+// Only feasible for small |Rs| and k.
+func (s Summary) ExhaustiveBest(k int, lambda, w, rho float64) ([]int, float64) {
+	n := len(s.Photos)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil, 0
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	best := append([]int(nil), idx...)
+	bestVal := s.Objective(idx, lambda, w, rho)
+	for {
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+		if v := s.Objective(idx, lambda, w, rho); v > bestVal {
+			bestVal = v
+			copy(best, idx)
+		}
+	}
+	return best, bestVal
+}
+
+// GreedyRelevanceTopK returns the k photos ranked purely by relevance
+// (Rel descending, index ascending on ties) — the selection every MMR
+// construction must degenerate to at λ = 0.
+func (s Summary) GreedyRelevanceTopK(k int, w, rho float64) []int {
+	type scored struct {
+		idx int
+		rel float64
+	}
+	all := make([]scored, len(s.Photos))
+	for i := range s.Photos {
+		all[i] = scored{i, s.Rel(i, w, rho)}
+	}
+	// Selection sort keeps the oracle free of subtle comparator bugs: pick
+	// the best remaining photo k times, exactly like a greedy construction.
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, 0, k)
+	used := make([]bool, len(all))
+	for len(out) < k {
+		best := -1
+		bestVal := math.Inf(-1)
+		for i, sc := range all {
+			if used[i] {
+				continue
+			}
+			if sc.rel > bestVal || (sc.rel == bestVal && (best < 0 || sc.idx < all[best].idx)) {
+				bestVal = sc.rel
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		out = append(out, all[best].idx)
+	}
+	return out
+}

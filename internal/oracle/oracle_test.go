@@ -1,0 +1,240 @@
+package oracle
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geo"
+	"repro/internal/photo"
+	"repro/internal/vocab"
+)
+
+// handWorld is a world small enough to rank by inspection: two parallel
+// unit streets with different relevant mass, one far-away street, and a
+// pair of identical streets for tie-breaking.
+func handWorld() World {
+	return World{
+		Streets: []StreetSpec{
+			{Name: "Alpha", Points: []geo.Point{geo.Pt(0, 0), geo.Pt(0.001, 0)}},
+			{Name: "Beta", Points: []geo.Point{geo.Pt(0, 0.01), geo.Pt(0.001, 0.01)}},
+			{Name: "Far", Points: []geo.Point{geo.Pt(0.5, 0.5), geo.Pt(0.501, 0.5)}},
+			{Name: "TieOne", Points: []geo.Point{geo.Pt(0, 0.02), geo.Pt(0.001, 0.02)}},
+			{Name: "TieTwo", Points: []geo.Point{geo.Pt(0, 0.03), geo.Pt(0.001, 0.03)}},
+		},
+		POIs: []POISpec{
+			{Loc: geo.Pt(0.0005, 0.0001), Keywords: []string{"shop"}},
+			{Loc: geo.Pt(0.0005, 0.0101), Keywords: []string{"shop", "food"}, Weight: 2},
+			{Loc: geo.Pt(0.5005, 0.7), Keywords: []string{"shop"}},
+			{Loc: geo.Pt(0.0005, 0.02), Keywords: []string{"shop"}},
+			{Loc: geo.Pt(0.0005, 0.03), Keywords: []string{"shop"}},
+		},
+	}
+}
+
+func TestTopKHandWorld(t *testing.T) {
+	w := handWorld()
+	net, pois, _, _, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{Keywords: []string{"shop"}, K: 10, Epsilon: 0.0002}
+	got, err := TopK(net, pois, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Beta has mass 2 on the same geometry as Alpha's mass 1; the tie pair
+	// matches Alpha's interest and must rank by ascending street id. Far's
+	// POI is ~0.2 away and contributes nothing.
+	wantNames := []string{"Beta", "Alpha", "TieOne", "TieTwo"}
+	if len(got) != len(wantNames) {
+		t.Fatalf("got %d results, want %d: %+v", len(got), len(wantNames), got)
+	}
+	for i, name := range wantNames {
+		if got[i].Name != name {
+			t.Fatalf("rank %d: street %q, want %q (results %+v)", i+1, got[i].Name, name, got)
+		}
+	}
+	if got[0].Mass != 2 || got[1].Mass != 1 {
+		t.Fatalf("masses %v/%v, want 2/1", got[0].Mass, got[1].Mass)
+	}
+	// Interests must be the canonical Def. 2 value.
+	wantInterest := core.Interest(1, net.Segment(got[1].BestSegment).Length(), q.Epsilon)
+	if math.Float64bits(got[1].Interest) != math.Float64bits(wantInterest) {
+		t.Fatalf("Alpha interest %v, want %v", got[1].Interest, wantInterest)
+	}
+	if got[1].Interest != got[2].Interest || got[2].Interest != got[3].Interest {
+		t.Fatalf("tie group interests differ: %v %v %v", got[1].Interest, got[2].Interest, got[3].Interest)
+	}
+
+	// K truncation.
+	top1, err := TopK(net, pois, core.Query{Keywords: []string{"shop"}, K: 1, Epsilon: 0.0002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top1) != 1 || top1[0].Name != "Beta" {
+		t.Fatalf("k=1: %+v, want just Beta", top1)
+	}
+
+	// A keyword no POI carries yields no results, not an error.
+	empty, err := TopK(net, pois, core.Query{Keywords: []string{"quixotic"}, K: 5, Epsilon: 0.0002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("unknown keyword: %+v, want empty", empty)
+	}
+
+	// Invalid queries are rejected.
+	if _, err := TopK(net, pois, core.Query{K: 1, Epsilon: 0.0002}); err == nil {
+		t.Fatal("no keywords: want error")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := []core.StreetResult{{Street: 1, Name: "A", Interest: 2, BestSegment: 7, Mass: 4}}
+	if d := Equal(a, a); d != "" {
+		t.Fatalf("self-compare: %q", d)
+	}
+	b := []core.StreetResult{{Street: 1, Name: "A", Interest: 2.0000000001, BestSegment: 7, Mass: 4}}
+	if d := Equal(a, b); d == "" {
+		t.Fatal("interest mismatch not reported")
+	}
+	if d := Equal(a, nil); d == "" {
+		t.Fatal("length mismatch not reported")
+	}
+}
+
+func TestEqualRanked(t *testing.T) {
+	a := []core.StreetResult{
+		{Street: 1, Interest: 10},
+		{Street: 2, Interest: 5},
+	}
+	// Same streets, interests within tolerance, swapped order of a true tie.
+	b := []core.StreetResult{
+		{Street: 1, Interest: 10 * (1 + 1e-12)},
+		{Street: 2, Interest: 5},
+	}
+	if d := EqualRanked(a, b, 1e-9); d != "" {
+		t.Fatalf("tolerant compare: %q", d)
+	}
+	// Separated interests out of order must be reported.
+	c := []core.StreetResult{
+		{Street: 2, Interest: 5},
+		{Street: 1, Interest: 10},
+	}
+	if d := EqualRanked(c, a, 1e-9); d == "" {
+		t.Fatal("order violation not reported")
+	}
+	// A different street set must be reported.
+	e := []core.StreetResult{
+		{Street: 1, Interest: 10},
+		{Street: 3, Interest: 5},
+	}
+	if d := EqualRanked(e, a, 1e-9); d == "" {
+		t.Fatal("street set mismatch not reported")
+	}
+}
+
+func TestSummaryObjective(t *testing.T) {
+	dict := vocab.NewDictionary()
+	pb := photo.NewBuilder(dict)
+	pb.Add(geo.Pt(0, 0), []string{"sunny", "shop"})
+	pb.Add(geo.Pt(0.0004, 0), []string{"rain"})
+	pb.Add(geo.Pt(0, 0.0004), []string{"sunny"})
+	pb.Add(geo.Pt(0.0004, 0.0004), []string{"shop"})
+	rs := pb.Build().All()
+	freq := vocab.NewFreq(dict)
+	for i := range rs {
+		freq.AddSet(rs[i].Tags, 1)
+	}
+	s := Summary{Photos: rs, Freq: freq, MaxD: 0.001}
+
+	// A single selection has no diversity term: F = (1-λ)·rel.
+	const lambda, w, rho = 0.3, 0.5, 0.0005
+	if got, want := s.Objective([]int{0}, lambda, w, rho), (1-lambda)*s.Rel(0, w, rho); got != want {
+		t.Fatalf("single-photo objective %v, want %v", got, want)
+	}
+	// The empty selection scores zero.
+	if got := s.Objective(nil, lambda, w, rho); got != 0 {
+		t.Fatalf("empty objective %v, want 0", got)
+	}
+
+	// The exhaustive optimum can never score below any explicit subset.
+	best, bestVal := s.ExhaustiveBest(2, lambda, w, rho)
+	if len(best) != 2 {
+		t.Fatalf("ExhaustiveBest returned %v", best)
+	}
+	for i := 0; i < len(rs); i++ {
+		for j := i + 1; j < len(rs); j++ {
+			if v := s.Objective([]int{i, j}, lambda, w, rho); v > bestVal {
+				t.Fatalf("subset {%d,%d} scores %v above claimed optimum %v", i, j, v, bestVal)
+			}
+		}
+	}
+
+	// λ=0 top-k is ranked by relevance, ascending index on ties.
+	top := s.GreedyRelevanceTopK(2, w, rho)
+	if len(top) != 2 {
+		t.Fatalf("GreedyRelevanceTopK returned %v", top)
+	}
+	if s.Rel(top[0], w, rho) < s.Rel(top[1], w, rho) {
+		t.Fatalf("relevance order violated: %v", top)
+	}
+}
+
+func TestWorldTransformsAndGeoJSON(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Tiny(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := FromDataset(ds)
+	if len(w.Streets) == 0 || len(w.POIs) == 0 || len(w.Photos) == 0 {
+		t.Fatalf("empty world from Tiny dataset: %d streets %d pois %d photos",
+			len(w.Streets), len(w.POIs), len(w.Photos))
+	}
+
+	// Rebuilding the flattened world must preserve the oracle's answer
+	// exactly (street ids are positional in both representations).
+	q := core.Query{Keywords: []string{"shop"}, K: 5, Epsilon: 0.0005}
+	fromDS, err := TopK(ds.Network, ds.POIs, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, pois, _, _, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := TopK(net, pois, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Equal(rebuilt, fromDS); d != "" {
+		t.Fatalf("rebuild changed the answer: %s", d)
+	}
+
+	// Clone isolates mutations.
+	c := w.Clone()
+	c.POIs[0].Keywords[0] = "mutated"
+	if w.POIs[0].Keywords[0] == "mutated" {
+		t.Fatal("Clone shares keyword storage")
+	}
+
+	// Translate and Rotate are inverses up to float noise.
+	back := w.Translate(0.25, -0.125).Translate(-0.25, 0.125)
+	if math.Abs(back.POIs[0].Loc.X-w.POIs[0].Loc.X) > 1e-12 {
+		t.Fatalf("translate round-trip moved POI 0 by %v", back.POIs[0].Loc.X-w.POIs[0].Loc.X)
+	}
+
+	var buf bytes.Buffer
+	if err := w.WriteGeoJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FeatureCollection") || !strings.Contains(out, "LineString") {
+		t.Fatalf("GeoJSON output missing expected members: %.120s", out)
+	}
+}

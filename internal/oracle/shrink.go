@@ -1,0 +1,100 @@
+package oracle
+
+// Predicate reports whether a world still reproduces the failure under
+// investigation. Shrinking removes streets, POIs and photos, which
+// renumbers ids — predicates should re-detect the divergence (e.g. by
+// re-running the differential driver) rather than match remembered ids.
+type Predicate func(World) bool
+
+// DefaultShrinkChecks bounds predicate evaluations when Shrink is called
+// with a non-positive budget.
+const DefaultShrinkChecks = 2000
+
+// Shrink reduces a failing world to a (locally) minimal one that still
+// satisfies pred, ddmin-style: it repeatedly removes chunks of photos,
+// POIs and streets, halving the chunk size on failure, until a whole pass
+// removes nothing or the predicate budget is exhausted. The input world
+// must satisfy pred; the result always does.
+func Shrink(w World, pred Predicate, maxChecks int) World {
+	if maxChecks <= 0 {
+		maxChecks = DefaultShrinkChecks
+	}
+	budget := maxChecks
+	cur := w.Clone()
+
+	// Photos rarely matter for query-path divergences: try dropping them
+	// wholesale before chunked minimization touches anything.
+	if len(cur.Photos) > 0 && budget > 0 {
+		cand := cur.Clone()
+		cand.Photos = nil
+		budget--
+		if pred(cand) {
+			cur = cand
+		}
+	}
+
+	for budget > 0 {
+		before := cur.size()
+		cur.POIs = minimize(cur.POIs, func(pois []POISpec) bool {
+			cand := cur
+			cand.POIs = pois
+			return pred(cand)
+		}, &budget)
+		cur.Streets = minimize(cur.Streets, func(streets []StreetSpec) bool {
+			cand := cur
+			cand.Streets = streets
+			return pred(cand)
+		}, &budget)
+		cur.Photos = minimize(cur.Photos, func(photos []PhotoSpec) bool {
+			cand := cur
+			cand.Photos = photos
+			return pred(cand)
+		}, &budget)
+		if cur.size() == before {
+			break
+		}
+	}
+	return cur
+}
+
+func (w World) size() int {
+	return len(w.Streets) + len(w.POIs) + len(w.Photos)
+}
+
+// minimize greedily removes chunks of items while test keeps passing,
+// halving the chunk size whenever a full pass at the current size removes
+// nothing. Each test call decrements *budget; minimization stops when it
+// reaches zero.
+func minimize[T any](items []T, test func([]T) bool, budget *int) []T {
+	size := (len(items) + 1) / 2
+	for size >= 1 && len(items) > 0 {
+		removed := false
+		for start := 0; start < len(items); {
+			if *budget <= 0 {
+				return items
+			}
+			end := start + size
+			if end > len(items) {
+				end = len(items)
+			}
+			cand := make([]T, 0, len(items)-(end-start))
+			cand = append(cand, items[:start]...)
+			cand = append(cand, items[end:]...)
+			*budget--
+			if test(cand) {
+				items = cand
+				removed = true
+			} else {
+				start = end
+			}
+		}
+		if size == 1 {
+			if !removed {
+				break
+			}
+			continue
+		}
+		size /= 2
+	}
+	return items
+}
