@@ -54,8 +54,19 @@ func main() {
 		statsOut = flag.String("statsout", "", "write the -stats snapshot as JSON to this file (implies -stats)")
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget for a -parallel/-stats run; a run cut short exits non-zero")
 		deadline = flag.Duration("deadline", 0, "per-query evaluation deadline for -parallel/-stats runs (0 = none)")
+		jsonOut  = flag.String("json", "", "run the slab-vs-map layout benchmark and write a schema-validated BENCH artifact to this file, then exit")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if *queries <= 0 {
+			log.Fatalf("-json needs a positive -queries workload size, got %d", *queries)
+		}
+		if err := runSlabBench(*cities, *scale, *queries, *seed, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *parallel < 0 {
 		log.Fatalf("-parallel needs a positive worker count, got %d", *parallel)

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// runSlabBench measures the identical sequential query workload on the
+// map-based index layout and the compact slab layout, per city, and
+// writes the comparison as a schema-validated BENCH artifact (see
+// internal/benchfmt). Both layouts return bit-identical answers — the
+// differential harness enforces that — so the artifact isolates pure
+// layout cost: pointer-chasing and per-query allocation versus
+// contiguous arrays and pooled scratch.
+func runSlabBench(cities string, scale float64, queries int, seed int64, outPath string) error {
+	out := os.Stdout
+	start := time.Now()
+	fmt.Fprintf(out, "Loading cities (scale %g)...\n", scale)
+	citiesList, err := loadSelected(cities, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Loaded %d cities in %v.\n", len(citiesList), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(out, "Workload: %d queries, seed %d.\n\n", queries, seed)
+
+	report := benchfmt.Report{
+		SchemaVersion: benchfmt.SchemaVersion,
+		Bench:         "slab-vs-map",
+		GoVersion:     runtime.Version(),
+		Scale:         scale,
+		Seed:          seed,
+		Queries:       queries,
+	}
+	workload := experiments.ParallelWorkloadSeeded(queries, seed)
+	ctx := context.Background()
+	for _, c := range citiesList {
+		ix := c.Index
+		six, err := core.NewSlabIndex(c.Dataset.Network, c.Dataset.POIs, core.IndexConfig{CellSize: experiments.Epsilon})
+		if err != nil {
+			return fmt.Errorf("building slab index for %s: %w", c.Name(), err)
+		}
+		eps := map[float64]bool{}
+		for _, q := range workload {
+			if !eps[q.Epsilon] {
+				ix.Warm(q.Epsilon)
+				six.Warm(q.Epsilon)
+				eps[q.Epsilon] = true
+			}
+		}
+		mapMetrics, err := measure(queries, func() error {
+			for _, q := range workload {
+				if _, _, err := ix.SOIWithStrategy(q, core.CostAware); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("map layout on %s: %w", c.Name(), err)
+		}
+		results := make([]core.StreetResult, 0, 64)
+		slabMetrics, err := measure(queries, func() error {
+			for _, q := range workload {
+				var err error
+				if results, _, err = six.SOIInto(ctx, q, nil, results[:0]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("slab layout on %s: %w", c.Name(), err)
+		}
+
+		st := c.Dataset.Network.Stats()
+		w := benchfmt.World{
+			Name:     c.Name(),
+			Streets:  st.NumStreets,
+			Segments: st.NumSegments,
+			POIs:     c.Dataset.POIs.Len(),
+			Map:      mapMetrics,
+			Slab:     slabMetrics,
+		}
+		if slabMetrics.NsPerQuery > 0 {
+			w.Speedup = mapMetrics.NsPerQuery / slabMetrics.NsPerQuery
+		}
+		if slabMetrics.AllocsPerQuery > 0 {
+			w.AllocReduction = mapMetrics.AllocsPerQuery / slabMetrics.AllocsPerQuery
+		} else {
+			w.AllocReduction = mapMetrics.AllocsPerQuery
+		}
+		report.Worlds = append(report.Worlds, w)
+		fmt.Fprintf(out, "%-12s map %9.0f ns/q %7.1f allocs/q | slab %9.0f ns/q %7.1f allocs/q | %5.2fx faster, %4.0fx fewer allocs\n",
+			c.Name(), mapMetrics.NsPerQuery, mapMetrics.AllocsPerQuery,
+			slabMetrics.NsPerQuery, slabMetrics.AllocsPerQuery, w.Speedup, w.AllocReduction)
+	}
+
+	if err := report.WriteFile(outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nWrote %s (schema v%d). Done in %v.\n", outPath, benchfmt.SchemaVersion, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// measure times one full pass of the workload loop after an untimed
+// warm-up pass, bracketing it with mem-stats reads so the artifact
+// carries exact allocation counts rather than testing-package estimates.
+func measure(queries int, loop func() error) (benchfmt.Metrics, error) {
+	if err := loop(); err != nil {
+		return benchfmt.Metrics{}, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := loop(); err != nil {
+		return benchfmt.Metrics{}, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(queries)
+	m := benchfmt.Metrics{
+		NsPerQuery:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerQuery: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerQuery:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+	}
+	if elapsed > 0 {
+		m.QPS = n / elapsed.Seconds()
+	}
+	return m, nil
+}

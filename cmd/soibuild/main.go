@@ -1,0 +1,117 @@
+// Command soibuild compiles a dataset into a binary index snapshot (.soi
+// file) that soiserve -index memory-maps at startup, skipping all index
+// construction.
+//
+// Build from a CSV dataset directory (see soigen):
+//
+//	soibuild -data ./data/berlin -out berlin.soi
+//
+// Or generate a synthetic city and snapshot it in one step:
+//
+//	soibuild -city berlin -scale 0.25 -out berlin.soi
+//
+// The snapshot embeds the road network, the POI and photo corpora, the
+// keyword dictionary and the compact slab index at the chosen -cell
+// size. Serving from it is bit-identical to building the index from the
+// same data at the same cell size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	soi "repro"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataio"
+	"repro/internal/network"
+	"repro/internal/photo"
+	"repro/internal/poi"
+	"repro/internal/snapshot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("soibuild: ")
+	var (
+		city    = flag.String("city", "", "generate a synthetic city: london, berlin, vienna, small")
+		scale   = flag.Float64("scale", 1.0, "volume scale factor for -city")
+		seed    = flag.Int64("seed", 0, "override the profile seed for -city (0 keeps the default)")
+		dataDir = flag.String("data", "", "load a CSV dataset directory instead of generating")
+		cell    = flag.Float64("cell", soi.DefaultCellSize, "grid cell size the slab index is built at")
+		out     = flag.String("out", "world.soi", "output snapshot path")
+	)
+	flag.Parse()
+	if *cell <= 0 {
+		log.Fatalf("-cell must be positive, got %g", *cell)
+	}
+
+	net, pois, photos, err := loadDataset(*city, *scale, *seed, *dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	six, err := core.NewSlabIndex(net, pois, core.IndexConfig{CellSize: *cell})
+	if err != nil {
+		log.Fatalf("building slab index: %v", err)
+	}
+	if err := snapshot.WriteFile(*out, &snapshot.Snapshot{
+		Net: net, POIs: pois, Photos: photos, Slab: six.Slab(),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ns := net.Stats()
+	fmt.Printf("%s: %d streets, %d segments, %d POIs, %d photos, cell %g -> %s (%d bytes)\n",
+		datasetName(*city, *dataDir), ns.NumStreets, ns.NumSegments,
+		pois.Len(), photos.Len(), *cell, *out, st.Size())
+}
+
+func loadDataset(city string, scale float64, seed int64, dataDir string) (*network.Network, *poi.Corpus, *photo.Corpus, error) {
+	switch {
+	case dataDir != "" && city != "":
+		return nil, nil, nil, fmt.Errorf("-city and -data are mutually exclusive")
+	case dataDir != "":
+		net, pois, photos, _, err := dataio.LoadDir(dataDir)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return net, pois, photos, nil
+	case city != "":
+		var p datagen.Profile
+		switch strings.ToLower(city) {
+		case "london":
+			p = datagen.London()
+		case "berlin":
+			p = datagen.Berlin()
+		case "vienna":
+			p = datagen.Vienna()
+		case "small":
+			p = datagen.Small(1)
+		default:
+			return nil, nil, nil, fmt.Errorf("unknown city %q (want london, berlin, vienna, or small)", city)
+		}
+		if seed != 0 {
+			p.Seed = seed
+		}
+		ds, err := datagen.Generate(datagen.Scale(p, scale))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return ds.Network, ds.POIs, ds.Photos, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("provide -city or -data")
+	}
+}
+
+func datasetName(city, dataDir string) string {
+	if dataDir != "" {
+		return dataDir
+	}
+	return city
+}

@@ -6,7 +6,11 @@
 //	soigen -city berlin -scale 0.1 -out ./data/berlin
 //
 // The output directory receives streets.csv, pois.csv, photos.csv and
-// groundtruth.txt.
+// groundtruth.txt. With -snapshot the same dataset is additionally
+// compiled into a binary index snapshot that soiserve -index can
+// memory-map directly:
+//
+//	soigen -city berlin -scale 0.1 -out ./data/berlin -snapshot berlin.soi
 package main
 
 import (
@@ -18,8 +22,11 @@ import (
 	"path/filepath"
 	"strings"
 
+	soi "repro"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dataio"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -30,6 +37,8 @@ func main() {
 		scale = flag.Float64("scale", 1.0, "volume scale factor applied to the profile")
 		seed  = flag.Int64("seed", 0, "override the profile seed (0 keeps the default)")
 		out   = flag.String("out", ".", "output directory")
+		snap  = flag.String("snapshot", "", "also write a binary index snapshot (.soi) to this path (see soibuild, soiserve -index)")
+		cell  = flag.Float64("cell", soi.DefaultCellSize, "grid cell size for the -snapshot slab index")
 	)
 	flag.Parse()
 
@@ -72,6 +81,18 @@ func main() {
 		return nil
 	}); err != nil {
 		log.Fatal(err)
+	}
+	if *snap != "" {
+		six, err := core.NewSlabIndex(ds.Network, ds.POIs, core.IndexConfig{CellSize: *cell})
+		if err != nil {
+			log.Fatalf("building slab index: %v", err)
+		}
+		if err := snapshot.WriteFile(*snap, &snapshot.Snapshot{
+			Net: ds.Network, POIs: ds.POIs, Photos: ds.Photos, Slab: six.Slab(),
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: wrote index snapshot (cell %g) -> %s\n", profile.Name, *cell, *snap)
 	}
 	st := ds.Network.Stats()
 	fmt.Printf("%s: %d streets, %d segments, %d POIs, %d photos -> %s\n",

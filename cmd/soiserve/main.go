@@ -4,6 +4,7 @@
 //
 //	soiserve -city berlin -scale 0.25 -addr :8080
 //	soiserve -data ./data/berlin -addr :8080
+//	soiserve -index berlin.soi -addr :8080
 //
 // Endpoints:
 //
@@ -49,6 +50,7 @@ func main() {
 		city          = flag.String("city", "", "generate a synthetic city: london, berlin, vienna, small")
 		scale         = flag.Float64("scale", 0.25, "volume scale for -city")
 		dataDir       = flag.String("data", "", "load a CSV dataset directory instead of generating")
+		indexPath     = flag.String("index", "", "memory-map a prebuilt index snapshot (.soi, see soibuild) instead of building one")
 		workers       = flag.Int("workers", 0, "max concurrent k-SOI evaluations (0 = GOMAXPROCS)")
 		cache         = flag.Int("cache", 0, "query result cache capacity (0 = default, negative disables)")
 		queueDepth    = flag.Int("queue-depth", 256, "max queries waiting for a worker slot before shedding with 503 (0 = unbounded)")
@@ -66,7 +68,7 @@ func main() {
 		MaxQueueWait: *maxQueueWait,
 		QueryTimeout: *queryTimeout,
 	}
-	eng, err := buildEngine(*city, *scale, *dataDir, cfg)
+	eng, err := buildEngine(*city, *scale, *dataDir, *indexPath, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -129,8 +131,12 @@ func serveListener(ctx context.Context, ln net.Listener, handler http.Handler, g
 	return <-errc
 }
 
-func buildEngine(city string, scale float64, dataDir string, cfg soi.Config) (*soi.Engine, error) {
+func buildEngine(city string, scale float64, dataDir, indexPath string, cfg soi.Config) (*soi.Engine, error) {
 	switch {
+	case indexPath != "":
+		// A snapshot is served memory-mapped: no index build, near-instant
+		// startup, bit-identical answers to a fresh build of the same data.
+		return soi.NewEngineFromSnapshot(indexPath, cfg)
 	case dataDir != "":
 		return loadEngine(dataDir, cfg)
 	case city != "":
@@ -153,7 +159,7 @@ func buildEngine(city string, scale float64, dataDir string, cfg soi.Config) (*s
 		}
 		return soi.NewEngineFromCorpora(ds.Network, ds.POIs, ds.Photos, cfg)
 	default:
-		return nil, fmt.Errorf("provide -city or -data")
+		return nil, fmt.Errorf("provide -city, -data or -index")
 	}
 }
 

@@ -1,0 +1,60 @@
+package soi
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/snapshot"
+)
+
+// NewEngineFromSnapshot builds an engine from a prebuilt index snapshot
+// (a .soi file written by soibuild, soigen -snapshot or WriteSnapshot).
+// The file is memory-mapped where the platform allows: startup does no
+// index construction, the slab arrays are served straight from the page
+// cache, and unread sections never touch memory. Config.GridCellSize is
+// ignored — the snapshot's slab fixes the cell size.
+//
+// The returned engine holds the mapping open; call Close when done with
+// it. Engines built by the other constructors need no Close.
+func NewEngineFromSnapshot(path string, cfg Config) (*Engine, error) {
+	snap, m, err := snapshot.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.NewIndexFromSlab(snap.Net, snap.POIs, snap.Slab)
+	if err != nil {
+		m.Close()
+		return nil, fmt.Errorf("soi: rebuilding index from %s: %w", path, err)
+	}
+	eng := newEngineWithIndex(snap.Net, snap.POIs, snap.Photos, snap.POIs.Dict(), ix, cfg)
+	eng.mapping = m
+	return eng, nil
+}
+
+// WriteSnapshot persists the engine's dataset and compact index as a
+// snapshot file, written atomically. An engine later opened from the
+// file with NewEngineFromSnapshot answers every query bit-identically.
+func (e *Engine) WriteSnapshot(path string) error {
+	six := e.index.SlabIndex()
+	if six == nil {
+		return fmt.Errorf("soi: engine has no compact index to snapshot")
+	}
+	return snapshot.WriteFile(path, &snapshot.Snapshot{
+		Net:    e.net,
+		POIs:   e.pois,
+		Photos: e.photos,
+		Slab:   six.Slab(),
+	})
+}
+
+// Close releases the file mapping behind a snapshot-loaded engine. It
+// must not be called while queries are still in flight. For engines not
+// loaded from a snapshot it is a no-op.
+func (e *Engine) Close() error {
+	if e.mapping == nil {
+		return nil
+	}
+	m := e.mapping
+	e.mapping = nil
+	return m.Close()
+}

@@ -1,0 +1,80 @@
+package soi
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestEngineSnapshotRoundTrip writes the fixture engine to a snapshot,
+// reopens it memory-mapped and verifies the reloaded engine answers
+// every query surface bit-identically.
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	eng := fixtureEngine(t)
+	path := filepath.Join(t.TempDir(), "fixture.soi")
+	if err := eng.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := NewEngineFromSnapshot(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := loaded.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if loaded.NumStreets() != eng.NumStreets() || loaded.NumPOIs() != eng.NumPOIs() || loaded.NumPhotos() != eng.NumPhotos() {
+		t.Fatalf("counts differ: %d/%d/%d vs %d/%d/%d",
+			loaded.NumStreets(), loaded.NumPOIs(), loaded.NumPhotos(),
+			eng.NumStreets(), eng.NumPOIs(), eng.NumPhotos())
+	}
+
+	for _, q := range []Query{
+		{Keywords: []string{"shop"}, K: 3, Epsilon: 0.0005},
+		{Keywords: []string{"shop", "museum"}, K: 2, Epsilon: 0.001},
+	} {
+		want, err := eng.TopStreets(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.TopStreets(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %+v: %d results, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Name != want[i].Name ||
+				math.Float64bits(got[i].Interest) != math.Float64bits(want[i].Interest) ||
+				math.Float64bits(got[i].Mass) != math.Float64bits(want[i].Mass) {
+				t.Fatalf("query %+v rank %d: %+v, want %+v", q, i+1, got[i], want[i])
+			}
+		}
+	}
+
+	sum, err := loaded.DescribeStreet("High St", SummaryParams{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := eng.DescribeStreet("High St", SummaryParams{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Objective != ref.Objective || len(sum.Photos) != len(ref.Photos) {
+		t.Fatalf("summary differs: %+v vs %+v", sum, ref)
+	}
+}
+
+// TestEngineSnapshotErrors covers the failure surface of the snapshot
+// constructors.
+func TestEngineSnapshotErrors(t *testing.T) {
+	if _, err := NewEngineFromSnapshot(filepath.Join(t.TempDir(), "absent.soi"), Config{}); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+	eng := fixtureEngine(t)
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close on a non-snapshot engine must be a no-op, got %v", err)
+	}
+}

@@ -1,0 +1,219 @@
+// Package benchfmt defines the fixed-schema JSON benchmark artifact
+// (BENCH_*.json) that soibench -json emits and CI archives. The schema
+// is committed next to the code (schema.json, embedded below) and every
+// artifact is validated against it both when written and in tests, so
+// the file format cannot drift silently: adding, removing or renaming a
+// field without updating the schema fails the build's schema test, and
+// downstream tooling that tracks benchmark trends can rely on the keys.
+package benchfmt
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// SchemaVersion is the current artifact schema version; bump it together
+// with schema.json whenever the layout changes.
+const SchemaVersion = 1
+
+// SchemaJSON is the committed JSON Schema the artifacts conform to.
+//
+//go:embed schema.json
+var SchemaJSON []byte
+
+// Metrics are the per-layout measurements of one benchmarked world.
+type Metrics struct {
+	// QPS is sequential query throughput (queries per second).
+	QPS float64 `json:"qps"`
+	// NsPerQuery is the mean wall time per query in nanoseconds.
+	NsPerQuery float64 `json:"ns_per_query"`
+	// AllocsPerQuery is the mean heap allocation count per query.
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+	// BytesPerQuery is the mean heap bytes allocated per query.
+	BytesPerQuery float64 `json:"bytes_per_query"`
+}
+
+// World is the slab-vs-map comparison over one benchmarked dataset.
+type World struct {
+	Name     string `json:"name"`
+	Streets  int    `json:"streets"`
+	Segments int    `json:"segments"`
+	POIs     int    `json:"pois"`
+	// Map and Slab measure the identical workload on the two index
+	// layouts.
+	Map  Metrics `json:"map"`
+	Slab Metrics `json:"slab"`
+	// Speedup is Map.NsPerQuery / Slab.NsPerQuery.
+	Speedup float64 `json:"speedup"`
+	// AllocReduction is Map.AllocsPerQuery / Slab.AllocsPerQuery
+	// (capped at Map.AllocsPerQuery when the slab path reaches zero).
+	AllocReduction float64 `json:"alloc_reduction"`
+}
+
+// Report is one BENCH_*.json document.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Bench         string `json:"bench"`
+	GoVersion     string `json:"go_version"`
+	Scale         float64 `json:"scale"`
+	Seed          int64   `json:"seed"`
+	Queries       int     `json:"queries"`
+	Worlds        []World `json:"worlds"`
+}
+
+// Encode validates the report against the committed schema and renders
+// it as indented JSON with a trailing newline.
+func (r *Report) Encode() ([]byte, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, '\n')
+	if err := Validate(buf); err != nil {
+		return nil, fmt.Errorf("benchfmt: report violates its own schema: %w", err)
+	}
+	return buf, nil
+}
+
+// WriteFile encodes and writes the report.
+func (r *Report) WriteFile(path string) error {
+	buf, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// Decode parses and schema-validates an artifact.
+func Decode(data []byte) (*Report, error) {
+	if err := Validate(data); err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	return &r, nil
+}
+
+// Validate checks an artifact against the embedded schema. It implements
+// the subset of JSON Schema the schema file uses — type, properties,
+// required, additionalProperties, items, minimum and #/definitions
+// references — which keeps the checked-in schema authoritative without
+// pulling in a schema-validator dependency.
+func Validate(data []byte) error {
+	var schema map[string]any
+	if err := json.Unmarshal(SchemaJSON, &schema); err != nil {
+		return fmt.Errorf("benchfmt: embedded schema is invalid: %w", err)
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("benchfmt: artifact is not JSON: %w", err)
+	}
+	return validate(doc, schema, schema, "$")
+}
+
+func validate(doc any, schema, root map[string]any, path string) error {
+	if ref, ok := schema["$ref"].(string); ok {
+		resolved, err := resolveRef(ref, root)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		return validate(doc, resolved, root, path)
+	}
+	typ, _ := schema["type"].(string)
+	switch typ {
+	case "object":
+		obj, ok := doc.(map[string]any)
+		if !ok {
+			return fmt.Errorf("%s: got %T, want object", path, doc)
+		}
+		props, _ := schema["properties"].(map[string]any)
+		if req, ok := schema["required"].([]any); ok {
+			for _, r := range req {
+				name, _ := r.(string)
+				if _, present := obj[name]; !present {
+					return fmt.Errorf("%s: missing required field %q", path, name)
+				}
+			}
+		}
+		if extra, ok := schema["additionalProperties"].(bool); ok && !extra {
+			for k := range obj {
+				if _, known := props[k]; !known {
+					return fmt.Errorf("%s: unknown field %q", path, k)
+				}
+			}
+		}
+		for k, v := range obj {
+			sub, ok := props[k].(map[string]any)
+			if !ok {
+				continue
+			}
+			if err := validate(v, sub, root, path+"."+k); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "array":
+		arr, ok := doc.([]any)
+		if !ok {
+			return fmt.Errorf("%s: got %T, want array", path, doc)
+		}
+		items, ok := schema["items"].(map[string]any)
+		if !ok {
+			return nil
+		}
+		for i, v := range arr {
+			if err := validate(v, items, root, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "string":
+		if _, ok := doc.(string); !ok {
+			return fmt.Errorf("%s: got %T, want string", path, doc)
+		}
+		return nil
+	case "number", "integer":
+		n, ok := doc.(float64)
+		if !ok {
+			return fmt.Errorf("%s: got %T, want %s", path, doc, typ)
+		}
+		if typ == "integer" && n != float64(int64(n)) {
+			return fmt.Errorf("%s: %v is not an integer", path, n)
+		}
+		if min, ok := schema["minimum"].(float64); ok && n < min {
+			return fmt.Errorf("%s: %v below minimum %v", path, n, min)
+		}
+		return nil
+	case "":
+		return nil
+	default:
+		return fmt.Errorf("%s: schema uses unsupported type %q", path, typ)
+	}
+}
+
+func resolveRef(ref string, root map[string]any) (map[string]any, error) {
+	const prefix = "#/"
+	if !strings.HasPrefix(ref, prefix) {
+		return nil, fmt.Errorf("unsupported $ref %q", ref)
+	}
+	node := any(root)
+	for _, step := range strings.Split(ref[len(prefix):], "/") {
+		obj, ok := node.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("$ref %q: %q is not an object", ref, step)
+		}
+		if node, ok = obj[step]; !ok {
+			return nil, fmt.Errorf("$ref %q: %q not found", ref, step)
+		}
+	}
+	obj, ok := node.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("$ref %q resolves to a non-object", ref)
+	}
+	return obj, nil
+}

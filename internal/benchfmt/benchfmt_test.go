@@ -1,0 +1,124 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	m := Metrics{QPS: 15000, NsPerQuery: 66000, AllocsPerQuery: 275, BytesPerQuery: 30160}
+	s := Metrics{QPS: 90000, NsPerQuery: 11000, AllocsPerQuery: 0, BytesPerQuery: 59}
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Bench:         "slab-vs-map",
+		GoVersion:     "go1.24.0",
+		Scale:         0.25,
+		Seed:          1,
+		Queries:       150,
+		Worlds: []World{{
+			Name: "London", Streets: 1200, Segments: 5400, POIs: 80000,
+			Map: m, Slab: s, Speedup: 6, AllocReduction: 275,
+		}},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	buf, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip differs:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+// TestSchemaRejects feeds structurally broken artifacts through the
+// validator; each mutation must be caught by the committed schema.
+func TestSchemaRejects(t *testing.T) {
+	valid, err := sampleReport().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(m map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(valid, &m); err != nil {
+			t.Fatal(err)
+		}
+		f(m)
+		buf, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	world := func(m map[string]any) map[string]any {
+		return m["worlds"].([]any)[0].(map[string]any)
+	}
+	cases := map[string][]byte{
+		"not json":          []byte("{"),
+		"missing bench":     mutate(func(m map[string]any) { delete(m, "bench") }),
+		"unknown field":     mutate(func(m map[string]any) { m["extra"] = 1 }),
+		"string version":    mutate(func(m map[string]any) { m["schema_version"] = "1" }),
+		"float queries":     mutate(func(m map[string]any) { m["queries"] = 1.5 }),
+		"zero queries":      mutate(func(m map[string]any) { m["queries"] = 0 }),
+		"worlds not array":  mutate(func(m map[string]any) { m["worlds"] = "x" }),
+		"world sans map":    mutate(func(m map[string]any) { delete(world(m), "map") }),
+		"world extra field": mutate(func(m map[string]any) { world(m)["note"] = "hi" }),
+		"negative qps": mutate(func(m map[string]any) {
+			world(m)["slab"].(map[string]any)["qps"] = -1.0
+		}),
+		"metrics extra field": mutate(func(m map[string]any) {
+			world(m)["map"].(map[string]any)["p99"] = 1.0
+		}),
+	}
+	for name, data := range cases {
+		if err := Validate(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestCommittedArtifactsConform validates every BENCH_*.json checked in
+// at the repository root against the embedded schema, so a hand edit or
+// a writer change that breaks the contract fails the build.
+func TestCommittedArtifactsConform(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed BENCH_*.json artifacts found at the repository root")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Decode(data)
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(p), err)
+			continue
+		}
+		if r.SchemaVersion != SchemaVersion {
+			t.Errorf("%s: schema_version %d, want %d", filepath.Base(p), r.SchemaVersion, SchemaVersion)
+		}
+		if r.Bench != "slab-vs-map" {
+			t.Errorf("%s: bench %q, want slab-vs-map", filepath.Base(p), r.Bench)
+		}
+		if !strings.HasPrefix(r.GoVersion, "go") {
+			t.Errorf("%s: go_version %q", filepath.Base(p), r.GoVersion)
+		}
+		if len(r.Worlds) == 0 {
+			t.Errorf("%s: no worlds", filepath.Base(p))
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// allocWorld builds a deterministic mid-size scenario plus a query whose
+// evaluation touches filter, refine and drain paths.
+func allocWorld(tb testing.TB) (*Index, *SlabIndex, Query) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(4242))
+	var ix *Index
+	for {
+		ix = randomScenario(rng)
+		if ix.POIs().Len() >= 120 && ix.Network().NumSegments() >= 20 {
+			break
+		}
+	}
+	six, err := NewSlabIndex(ix.Network(), ix.POIs(), IndexConfig{CellSize: ix.Grid().CellSize()})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	q := Query{Keywords: []string{"shop", "food"}, K: 5, Epsilon: 0.6}
+	return ix, six, q
+}
+
+// TestSlabQueryZeroAllocs pins the steady-state allocation budget of the
+// slab hot path at exactly zero: after the ε-plan is memoized and the
+// pooled run has grown its arenas, a resolved query must not allocate.
+// If this test starts failing, some scratch structure stopped being
+// reused — treat it as a performance regression, not flakiness.
+func TestSlabQueryZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are not meaningful under -race")
+	}
+	_, six, q := allocWorld(t)
+	six.Warm(q.Epsilon)
+	resolved, err := six.Resolve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	out := make([]StreetResult, 0, q.K)
+	// Prime the pool so arena growth happens outside the measured runs.
+	for i := 0; i < 3; i++ {
+		if out, _, err = six.SOIResolved(ctx, resolved, q.K, q.Epsilon, nil, out[:0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("query returned no results; world too sparse for the gate to mean anything")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		out, _, err = six.SOIResolved(ctx, resolved, q.K, q.Epsilon, nil, out[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("slab query allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSOIMap and BenchmarkSOISlab measure the same query on the two
+// index layouts; -benchmem makes the allocation gap visible and
+// `benchstat` the throughput one. The slab path must stay at 0 allocs/op.
+func BenchmarkSOIMap(b *testing.B) {
+	ix, _, q := allocWorld(b)
+	ix.Warm(q.Epsilon)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.SOIWithStrategy(q, CostAware); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSOISlab(b *testing.B) {
+	_, six, q := allocWorld(b)
+	six.Warm(q.Epsilon)
+	resolved, err := six.Resolve(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	out := make([]StreetResult, 0, q.K)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out, _, err = six.SOIResolved(ctx, resolved, q.K, q.Epsilon, nil, out[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

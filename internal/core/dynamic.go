@@ -36,6 +36,10 @@ func (ix *Index) addPOISet(loc geo.Point, set vocab.Set, weight float64) (poi.ID
 		// would silently misplace the POI relative to ε-distance queries.
 		return 0, fmt.Errorf("core: POI at %v outside the indexed bounds %v", loc, ix.grid.Bounds())
 	}
+	// The flattened slab no longer reflects the corpus after an append;
+	// drop it so queries fall back to the (updated) map structures.
+	ix.six = nil
+
 	id := ix.pois.Append(loc, set, weight)
 	p := ix.pois.Get(id)
 

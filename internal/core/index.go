@@ -19,6 +19,12 @@ type IndexConfig struct {
 	// leaves the cell size arbitrary; a size close to the query ε keeps
 	// the ε-augmented maps small.
 	CellSize float64
+	// Compact additionally flattens the grid into a struct-of-arrays slab
+	// (grid.Slab) and routes cost-aware SOI evaluations through the
+	// allocation-free slab path. Results are bit-identical either way;
+	// only the evaluation machinery differs. Dynamic insertions (AddPOI)
+	// drop the slab and fall back to the map path.
+	Compact bool
 }
 
 // weightedEntry is one entry of the weighted global inverted index: the
@@ -96,6 +102,11 @@ type Index struct {
 	segCells map[float64][][]grid.CellID // ε → per-segment Cε(ℓ)
 	cellSegs map[float64]map[grid.CellID][]network.SegmentID
 	sl2      map[float64][]network.SegmentID // ε → segments desc by |Cε(ℓ)|
+
+	// six, when non-nil, is the compact slab evaluator cost-aware SOI
+	// queries route through (IndexConfig.Compact or NewIndexFromSlab).
+	// AddPOI sets it to nil, falling back to the map path.
+	six *SlabIndex
 }
 
 // NewIndex builds the offline index over a network and POI corpus.
@@ -151,8 +162,86 @@ func NewIndex(net *network.Network, pois *poi.Corpus, cfg IndexConfig) (*Index, 
 		}
 		return a.ID < b.ID
 	})
+	if cfg.Compact {
+		weights := make([]float64, len(all))
+		for i := range all {
+			weights[i] = all[i].Weight
+		}
+		slab, err := grid.NewSlab(g, pts, weights)
+		if err != nil {
+			return nil, err
+		}
+		ix.six, err = NewSlabIndexFromSlab(net, pois, slab)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return ix, nil
 }
+
+// NewIndexFromSlab reconstructs a full index from a prebuilt slab (for
+// example, one loaded from a snapshot) without re-ingesting the POIs: the
+// map-layout grid aliases the slab's arrays, the weighted inverted index
+// and per-cell weights are read straight out of the slab's vocab-major
+// CSR (already in sortEntries order), and cost-aware SOI evaluations
+// route through the slab path. The resulting index answers every query
+// bit-identically to NewIndex over the same data with Compact set.
+func NewIndexFromSlab(net *network.Network, pois *poi.Corpus, slab *grid.Slab) (*Index, error) {
+	six, err := NewSlabIndexFromSlab(net, pois, slab)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		net:        net,
+		pois:       pois,
+		grid:       grid.FromSlab(slab),
+		inv:        make(map[vocab.ID]*kwPostings, slab.VocabN),
+		cellWeight: make(map[grid.CellID]float64, slab.NumCells()),
+		segCells:   make(map[float64][][]grid.CellID),
+		cellSegs:   make(map[float64]map[grid.CellID][]network.SegmentID),
+		sl2:        make(map[float64][]network.SegmentID),
+		six:        six,
+	}
+	for ord, cid := range slab.CellIDs {
+		ix.cellWeight[grid.CellID(cid)] = slab.CellWeight[ord]
+	}
+	for kw := 0; kw < slab.VocabN; kw++ {
+		lo, hi := slab.InvOff[kw], slab.InvOff[kw+1]
+		if lo == hi {
+			continue
+		}
+		kp := &kwPostings{
+			weights: make(map[grid.CellID]float64, hi-lo),
+			sorted:  make([]weightedEntry, 0, hi-lo),
+		}
+		// The slab's entries are sorted decreasingly by weight, ties by
+		// ascending ordinal — exactly the sortEntries order, since cell
+		// ordinals are cell-id order.
+		for j := lo; j < hi; j++ {
+			cid := grid.CellID(slab.CellIDs[slab.InvCell[j]])
+			kp.weights[cid] = slab.InvWeight[j]
+			kp.sorted = append(kp.sorted, weightedEntry{Cell: cid, Weight: slab.InvWeight[j]})
+		}
+		ix.inv[vocab.ID(kw)] = kp
+	}
+	segs := net.Segments()
+	ix.segsByLen = make([]network.SegmentID, len(segs))
+	for i := range segs {
+		ix.segsByLen[i] = segs[i].ID
+	}
+	sort.Slice(ix.segsByLen, func(i, j int) bool {
+		a, b := net.Segment(ix.segsByLen[i]), net.Segment(ix.segsByLen[j])
+		if a.Length() != b.Length() {
+			return a.Length() < b.Length()
+		}
+		return a.ID < b.ID
+	})
+	return ix, nil
+}
+
+// SlabIndex returns the compact slab evaluator attached to this index, or
+// nil when the index was built without Compact (or invalidated by AddPOI).
+func (ix *Index) SlabIndex() *SlabIndex { return ix.six }
 
 // parallelInvThreshold is the non-empty-cell count below which the
 // sharded inverted-index build is not worth the goroutine overhead.
@@ -355,6 +444,9 @@ func (ix *Index) Warm(eps float64) {
 	ix.SegmentCells(eps)
 	ix.CellSegments(eps)
 	ix.SegmentsByCellCount(eps)
+	if ix.six != nil {
+		ix.six.Warm(eps)
+	}
 }
 
 // buildSL1 returns the query's source list SL1: cells sorted decreasingly

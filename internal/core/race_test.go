@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so allocation-count assertions are
+// meaningless under -race.
+const raceEnabled = true

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/network"
+	"repro/internal/poi"
+	"repro/internal/vocab"
+)
+
+// SlabIndex evaluates k-SOI queries over the flattened struct-of-arrays
+// grid layout (grid.Slab) instead of the map-based Index structures. The
+// evaluation is Algorithm 1 with the cost-aware access schedule, step for
+// step the same as Index.SOIContext under CostAware: every float operation
+// happens in the same order on the same values, so results (and all
+// interest values in them) are bit-identical to the map layout. What
+// changes is the machinery: source lists, postings and ε-augmented maps
+// are offset ranges into contiguous arrays, the per-query state lives in a
+// pooled scratch arena addressed by dense ordinals instead of maps, and
+// the steady-state query path performs zero heap allocations.
+//
+// A SlabIndex is immutable and safe for concurrent use; each evaluation
+// checks out a private scratch run from an internal pool.
+type SlabIndex struct {
+	net  *network.Network
+	pois *poi.Corpus
+	slab *grid.Slab
+
+	// Flattened network: segment endpoint coordinates, cached lengths and
+	// street ids, indexed by segment id.
+	segAX, segAY []float64
+	segBX, segBY []float64
+	segLen       []float64
+	segStreet    []uint32
+
+	// segsByLen is SL3: segment ids sorted increasingly by length, ties by
+	// id — the same order Index.segsByLen uses.
+	segsByLen []network.SegmentID
+
+	// mu guards the per-ε plan memos.
+	mu    sync.RWMutex
+	plans map[float64]*slabPlan
+
+	pool sync.Pool // *slabRun
+}
+
+// slabPlan is the ε-dependent part of the index: the cell↔segment maps
+// and SL2, in CSR form over cell ordinals. Plans are built once per ε and
+// shared read-only by every run.
+type slabPlan struct {
+	// segCellOff[sid] .. segCellOff[sid+1] delimits segment sid's ε-near
+	// cell ordinals in segCell — the canonical Cε(ℓ), in the exact order
+	// grid.CellsNearSegment produces.
+	segCellOff []uint32
+	segCell    []int32
+	// cellSegOff[ord] .. cellSegOff[ord+1] delimits cell ord's ε-near
+	// segments in cellSeg, ascending by segment id (the map layout builds
+	// its cell→segments lists by scanning segments in id order).
+	cellSegOff []uint32
+	cellSeg    []uint32
+	// sl2 lists segment ids decreasingly by |Cε(ℓ)|, ties ascending by id.
+	sl2 []network.SegmentID
+}
+
+// NewSlabIndex builds a slab index over a network and POI corpus. The
+// grid construction (bounds, cell assignment) is identical to NewIndex,
+// so the flattened structures mirror the map-based ones exactly.
+func NewSlabIndex(net *network.Network, pois *poi.Corpus, cfg IndexConfig) (*SlabIndex, error) {
+	slab, err := buildSlab(net, pois, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewSlabIndexFromSlab(net, pois, slab)
+}
+
+// buildSlab constructs the grid exactly as NewIndex does and flattens it.
+func buildSlab(net *network.Network, pois *poi.Corpus, cfg IndexConfig) (*grid.Slab, error) {
+	if cfg.CellSize <= 0 {
+		return nil, fmt.Errorf("core: non-positive cell size %v", cfg.CellSize)
+	}
+	all := pois.All()
+	pts := make([]geo.Point, len(all))
+	keys := make([]vocab.Set, len(all))
+	weights := make([]float64, len(all))
+	for i := range all {
+		pts[i] = all[i].Loc
+		keys[i] = all[i].Keywords
+		weights[i] = all[i].Weight
+	}
+	bounds := net.Bounds()
+	for i := range all {
+		r := geo.Rect{MinX: pts[i].X, MinY: pts[i].Y, MaxX: pts[i].X, MaxY: pts[i].Y}
+		if i == 0 && net.NumVertices() == 0 {
+			bounds = r
+		} else {
+			bounds = bounds.Union(r)
+		}
+	}
+	if !bounds.IsValid() {
+		return nil, fmt.Errorf("core: cannot derive bounds from empty network and corpus")
+	}
+	g, err := grid.Build(grid.Config{CellSize: cfg.CellSize, Bounds: bounds}, pts, keys)
+	if err != nil {
+		return nil, err
+	}
+	return grid.NewSlab(g, pts, weights)
+}
+
+// NewSlabIndexFromSlab wraps a prebuilt (for example, snapshot-loaded)
+// slab. The slab must index exactly the corpus's POIs.
+func NewSlabIndexFromSlab(net *network.Network, pois *poi.Corpus, slab *grid.Slab) (*SlabIndex, error) {
+	if slab.NumObjects != pois.Len() {
+		return nil, fmt.Errorf("core: slab indexes %d objects but corpus has %d POIs", slab.NumObjects, pois.Len())
+	}
+	segs := net.Segments()
+	six := &SlabIndex{
+		net:       net,
+		pois:      pois,
+		slab:      slab,
+		segAX:     make([]float64, len(segs)),
+		segAY:     make([]float64, len(segs)),
+		segBX:     make([]float64, len(segs)),
+		segBY:     make([]float64, len(segs)),
+		segLen:    make([]float64, len(segs)),
+		segStreet: make([]uint32, len(segs)),
+		plans:     make(map[float64]*slabPlan),
+	}
+	for i := range segs {
+		s := &segs[i]
+		six.segAX[i], six.segAY[i] = s.Geom.A.X, s.Geom.A.Y
+		six.segBX[i], six.segBY[i] = s.Geom.B.X, s.Geom.B.Y
+		six.segLen[i] = s.Length()
+		six.segStreet[i] = uint32(s.Street)
+	}
+	six.segsByLen = make([]network.SegmentID, len(segs))
+	for i := range segs {
+		six.segsByLen[i] = segs[i].ID
+	}
+	sort.Slice(six.segsByLen, func(i, j int) bool {
+		a, b := six.segsByLen[i], six.segsByLen[j]
+		if six.segLen[a] != six.segLen[b] {
+			return six.segLen[a] < six.segLen[b]
+		}
+		return a < b
+	})
+	six.pool.New = func() interface{} { return &slabRun{six: six} }
+	return six, nil
+}
+
+// Network returns the indexed road network.
+func (six *SlabIndex) Network() *network.Network { return six.net }
+
+// POIs returns the indexed POI corpus.
+func (six *SlabIndex) POIs() *poi.Corpus { return six.pois }
+
+// Slab returns the underlying flattened grid.
+func (six *SlabIndex) Slab() *grid.Slab { return six.slab }
+
+// Warm precomputes the ε-dependent plan so that subsequent query timings
+// measure only query work.
+func (six *SlabIndex) Warm(eps float64) { six.plan(eps) }
+
+// plan returns the ε plan, building and memoizing it on first use.
+// Concurrent callers may race to build a fresh ε; each computes an
+// identical value and the last store wins.
+func (six *SlabIndex) plan(eps float64) *slabPlan {
+	six.mu.RLock()
+	p, ok := six.plans[eps]
+	six.mu.RUnlock()
+	if ok {
+		return p
+	}
+	numSegs := len(six.segLen)
+	numCells := six.slab.NumCells()
+	p = &slabPlan{segCellOff: make([]uint32, numSegs+1)}
+	var buf []int32
+	for sid := 0; sid < numSegs; sid++ {
+		seg := geo.Segment{
+			A: geo.Point{X: six.segAX[sid], Y: six.segAY[sid]},
+			B: geo.Point{X: six.segBX[sid], Y: six.segBY[sid]},
+		}
+		buf = six.slab.CellsNearSegmentInto(seg, eps, buf[:0])
+		p.segCell = append(p.segCell, buf...)
+		p.segCellOff[sid+1] = uint32(len(p.segCell))
+	}
+	// Invert to cell→segments: counting pass, then fill in ascending sid
+	// order so each cell's list is sorted by segment id.
+	p.cellSegOff = make([]uint32, numCells+1)
+	for _, ord := range p.segCell {
+		p.cellSegOff[ord+1]++
+	}
+	for i := 1; i <= numCells; i++ {
+		p.cellSegOff[i] += p.cellSegOff[i-1]
+	}
+	p.cellSeg = make([]uint32, len(p.segCell))
+	next := make([]uint32, numCells)
+	copy(next, p.cellSegOff[:numCells])
+	for sid := 0; sid < numSegs; sid++ {
+		for _, ord := range p.segCell[p.segCellOff[sid]:p.segCellOff[sid+1]] {
+			p.cellSeg[next[ord]] = uint32(sid)
+			next[ord]++
+		}
+	}
+	// SL2: segments by decreasing ε-near cell count, ties by id.
+	p.sl2 = make([]network.SegmentID, numSegs)
+	for i := range p.sl2 {
+		p.sl2[i] = network.SegmentID(i)
+	}
+	counts := func(sid network.SegmentID) uint32 {
+		return p.segCellOff[sid+1] - p.segCellOff[sid]
+	}
+	sort.Slice(p.sl2, func(i, j int) bool {
+		a, b := p.sl2[i], p.sl2[j]
+		if counts(a) != counts(b) {
+			return counts(a) > counts(b)
+		}
+		return a < b
+	})
+	six.mu.Lock()
+	six.plans[eps] = p
+	six.mu.Unlock()
+	return p
+}
+
+// Resolve interns the query keywords against the corpus dictionary,
+// dropping unknown ones — the same resolution Index.SOIContext performs.
+// Use with SOIResolved to evaluate repeated queries allocation-free.
+func (six *SlabIndex) Resolve(q Query) (vocab.Set, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	set, _ := six.pois.Dict().LookupAll(q.Keywords)
+	return set, nil
+}
+
+// SOI evaluates a k-SOI query. Results are bit-identical to
+// Index.SOI on an index over the same data.
+func (six *SlabIndex) SOI(q Query) ([]StreetResult, Stats, error) {
+	return six.SOIContext(context.Background(), q, nil)
+}
+
+// SOIContext evaluates a k-SOI query under a context with an optional
+// shared MassCache, mirroring Index.SOIContext (CostAware strategy).
+func (six *SlabIndex) SOIContext(ctx context.Context, q Query, mc *MassCache) ([]StreetResult, Stats, error) {
+	return six.SOIInto(ctx, q, mc, nil)
+}
+
+// SOIInto is SOIContext appending results into out's capacity, for
+// callers that reuse a result buffer across queries.
+func (six *SlabIndex) SOIInto(ctx context.Context, q Query, mc *MassCache, out []StreetResult) ([]StreetResult, Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
+	query, err := six.Resolve(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return six.SOIResolved(ctx, query, q.K, q.Epsilon, mc, out)
+}
+
+// SOIResolved is the steady-state entry point: it evaluates a
+// pre-resolved query, appending the k results into out's capacity. With a
+// nil MassCache and a warmed ε it performs zero heap allocations once the
+// internal scratch pool has seen the world size. k and eps must be
+// positive; query must come from Resolve (sorted, deduplicated, known
+// keywords only).
+func (six *SlabIndex) SOIResolved(ctx context.Context, query vocab.Set, k int, eps float64, mc *MassCache, out []StreetResult) ([]StreetResult, Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
+	if k <= 0 || eps <= 0 {
+		return nil, Stats{}, fmt.Errorf("core: non-positive k %d or epsilon %v", k, eps)
+	}
+	r := six.pool.Get().(*slabRun)
+	defer six.pool.Put(r)
+	r.ctx = ctx
+	r.query = query
+	r.k = k
+	r.eps = eps
+	r.mc = mc
+	if mc != nil {
+		r.psi = mc.psiID(query)
+	}
+
+	start := time.Now()
+	r.begin(six.plan(eps))
+	r.stats.BuildListsTime = time.Since(start)
+
+	start = time.Now()
+	err := r.filter()
+	r.stats.FilterTime = time.Since(start)
+	if err != nil {
+		r.release()
+		return nil, r.stats, err
+	}
+
+	start = time.Now()
+	out, err = r.refine(out)
+	r.stats.RefineTime = time.Since(start)
+	stats := r.stats
+	r.release()
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/poi"
+)
+
+// slabFromIndex builds a SlabIndex over the same data and cell size as an
+// existing map index.
+func slabFromIndex(t *testing.T, ix *Index) *SlabIndex {
+	t.Helper()
+	six, err := NewSlabIndex(ix.Network(), ix.POIs(), IndexConfig{CellSize: ix.Grid().CellSize()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return six
+}
+
+// sameWork asserts that two evaluations did identical work, counter by
+// counter — much stronger than result equality: it means the two
+// implementations walked the same source-list schedule.
+func sameWork(t *testing.T, label string, a, b Stats) {
+	t.Helper()
+	type counters struct {
+		cellAccesses, segmentAccesses, sl2, sl3      int
+		filterIterations, cellVisits, cacheHits      int
+		segmentsSeen, segmentsFinal, refineDrained   int
+		totalSegments, totalCells                    int
+	}
+	ca := counters{a.CellAccesses, a.SegmentAccesses, a.SL2Accesses, a.SL3Accesses,
+		a.FilterIterations, a.CellVisits, a.SegmentCacheHits,
+		a.SegmentsSeen, a.SegmentsFinal, a.RefineDrained, a.TotalSegments, a.TotalCells}
+	cb := counters{b.CellAccesses, b.SegmentAccesses, b.SL2Accesses, b.SL3Accesses,
+		b.FilterIterations, b.CellVisits, b.SegmentCacheHits,
+		b.SegmentsSeen, b.SegmentsFinal, b.RefineDrained, b.TotalSegments, b.TotalCells}
+	if ca != cb {
+		t.Fatalf("%s: work differs\n map:  %+v\n slab: %+v", label, ca, cb)
+	}
+}
+
+// TestSlabMatchesMapPath is the core bit-identity property: on random
+// scenarios, the slab evaluator must return the same results as the map
+// layout's cost-aware path — same floats, same tie-breaks — and perform
+// the exact same work.
+func TestSlabMatchesMapPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		ix := randomScenario(rng)
+		six := slabFromIndex(t, ix)
+		for _, q := range propertyQueries(rng, ix) {
+			want, ws, err := ix.SOIWithStrategy(q, CostAware)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gs, err := six.SOI(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResults(t, "slab vs map", got, want)
+			sameWork(t, "slab vs map", ws, gs)
+		}
+	}
+}
+
+// TestSlabMatchesMapPathWeighted repeats the bit-identity check over a
+// corpus with non-uniform POI weights, which exercises the weighted
+// inverted index and mass summation orders.
+func TestSlabMatchesMapPathWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 10; trial++ {
+		ix := weightedScenario(rng)
+		six := slabFromIndex(t, ix)
+		for _, q := range propertyQueries(rng, ix) {
+			want, _, err := ix.SOIWithStrategy(q, CostAware)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := six.SOI(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResults(t, "weighted slab vs map", got, want)
+		}
+	}
+}
+
+func weightedScenario(rng *rand.Rand) *Index {
+	ix := randomScenario(rng)
+	pb := poi.NewBuilder(nil)
+	for _, p := range ix.POIs().All() {
+		pb.AddWeighted(geo.Point{X: p.Loc.X, Y: p.Loc.Y},
+			ix.POIs().Dict().Names(p.Keywords), 0.25+rng.Float64()*3)
+	}
+	wix, err := NewIndex(ix.Network(), pb.Build(), IndexConfig{CellSize: ix.Grid().CellSize()})
+	if err != nil {
+		panic(err)
+	}
+	return wix
+}
+
+// TestSlabWithMassCache verifies the slab evaluator with a shared
+// MassCache: the cache must warm across repeated queries, and results
+// must stay bit-identical to the uncached map path throughout.
+func TestSlabWithMassCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ix := randomScenario(rng)
+	six := slabFromIndex(t, ix)
+	mc := NewMassCache(0)
+	queries := propertyQueries(rng, ix)
+	for round := 0; round < 3; round++ {
+		for _, q := range queries {
+			want, _, err := ix.SOIWithStrategy(q, CostAware)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gs, err := six.SOIContext(context.Background(), q, mc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResults(t, "cached slab vs map", got, want)
+			if round > 0 && gs.SegmentsFinal > 0 && gs.SegmentCacheHits == 0 && gs.CellVisits > 0 {
+				// Warmed rounds should serve at least some masses from the
+				// cache when any were stored.
+				if mc.Len() > 0 {
+					t.Logf("round %d: no cache hits (%d entries); query %+v", round, mc.Len(), q)
+				}
+			}
+		}
+	}
+	if mc.Len() == 0 {
+		t.Fatal("mass cache never admitted an entry")
+	}
+}
+
+// TestCompactIndexRouting checks the IndexConfig.Compact wiring: the
+// cost-aware strategy routes through the slab and matches the plain
+// index; round-robin still uses the map path; AddPOI invalidates the slab
+// and keeps answers correct.
+func TestCompactIndexRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ix := randomScenario(rng)
+	cix, err := NewIndex(ix.Network(), ix.POIs(), IndexConfig{CellSize: ix.Grid().CellSize(), Compact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cix.SlabIndex() == nil {
+		t.Fatal("Compact index has no slab")
+	}
+	q := Query{Keywords: []string{"shop", "food"}, K: 3, Epsilon: 0.4}
+	want, _, err := ix.SOIWithStrategy(q, CostAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := cix.SOIWithStrategy(q, CostAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "compact routing", got, want)
+	rr, _, err := cix.SOIWithStrategy(q, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "compact round-robin", rr, want)
+
+	// Dynamic insertion drops the slab; answers must reflect the new POI.
+	center := ix.Grid().Bounds().Center()
+	if _, err := cix.AddPOI(center, []string{"shop"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if cix.SlabIndex() != nil {
+		t.Fatal("slab survived AddPOI")
+	}
+	if _, err := ix.AddPOI(center, []string{"shop"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	want2, _, err := ix.SOIWithStrategy(q, CostAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := cix.SOIWithStrategy(q, CostAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "post-insert", got2, want2)
+}
+
+// TestIndexFromSlabRoundTrip rebuilds an index from an encoded+decoded
+// slab and verifies both evaluation paths against the original.
+func TestIndexFromSlabRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	ix := randomScenario(rng)
+	six := slabFromIndex(t, ix)
+	dec, err := grid.DecodeSlab(six.Slab().AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rix, err := NewIndexFromSlab(ix.Network(), ix.POIs(), dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range propertyQueries(rng, ix) {
+		want, _, err := ix.SOIWithStrategy(q, CostAware)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := rix.SOIWithStrategy(q, CostAware)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResults(t, "from-slab cost-aware", got, want)
+		gotRR, _, err := rix.SOIWithStrategy(q, RoundRobin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResults(t, "from-slab round-robin", gotRR, want)
+	}
+}
+
+// TestSlabContext covers the cancellation surface of the slab path: an
+// expired context fails fast, and invalid parameters are rejected.
+func TestSlabContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ix := randomScenario(rng)
+	six := slabFromIndex(t, ix)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := six.SOIContext(ctx, Query{Keywords: []string{"shop"}, K: 1, Epsilon: 0.2}, nil); err == nil {
+		t.Fatal("expired context accepted")
+	}
+	if _, _, err := six.SOI(Query{Keywords: []string{"shop"}, K: 0, Epsilon: 0.2}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := six.SOIResolved(context.Background(), nil, 1, -1, nil, nil); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}
+
+// TestSlabRunReuse hammers one SlabIndex with many queries from the same
+// goroutine so pooled runs are reused across epochs, and cross-checks
+// every answer — stale scratch state would surface as a mismatch.
+func TestSlabRunReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ix := randomScenario(rng)
+	six := slabFromIndex(t, ix)
+	queries := propertyQueries(rng, ix)
+	for round := 0; round < 40; round++ {
+		q := queries[round%len(queries)]
+		want, _, err := ix.SOIWithStrategy(q, CostAware)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := six.SOI(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResults(t, "reuse", got, want)
+	}
+}

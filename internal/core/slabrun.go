@@ -1,0 +1,794 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/geo"
+	"repro/internal/network"
+	"repro/internal/vocab"
+)
+
+// slabRun is the pooled per-query scratch of a SlabIndex evaluation. All
+// per-segment, per-cell and per-street state lives in dense arrays
+// stamped with a run epoch: a slot belongs to the current run only when
+// its stamp equals the epoch, so "clearing" the state between runs is a
+// single counter increment. Epoch zero is reserved for never-written
+// slots; when the counter wraps, every stamp array is zeroed once.
+//
+// The run replicates soiRun's control flow exactly (cost-aware schedule);
+// see the SlabIndex doc comment for the bit-identical contract.
+type slabRun struct {
+	six  *SlabIndex
+	plan *slabPlan
+
+	epoch uint32
+
+	ctx   context.Context
+	query vocab.Set
+	k     int
+	eps   float64
+	tick  int
+	mc    *MassCache
+	psi   uint32
+
+	// SL1: parallel cell-ordinal and weight arrays. For single-keyword
+	// queries they alias the slab's inverted index directly.
+	sl1Cell []int32
+	sl1W    []float64
+	// Multi-keyword SL1 scratch: per-ordinal accumulators and the owned
+	// buffers the sorted list is built in.
+	accW       []float64
+	accStamp   []uint32
+	accTouched []int32
+	sl1CellBuf []int32
+	sl1WBuf    []float64
+	sl1Sorter  sl1Sorter
+
+	p1, p2, p3 int
+
+	// Per-segment state (sized to the segment count).
+	segSeen      []uint32 // stamp: segment left the unseen state
+	segFinal     []uint32 // stamp: exact mass known
+	segMass      []float64
+	segRemaining []int32
+
+	// Per-(segment, cell) pair state (sized to len(plan.segCell)).
+	visited []uint32 // stamp: cell visited for its segment
+	contrib []float64
+
+	seen []uint32 // segment ids in first-touch order
+
+	topk  slabTopK // filter-phase LBk
+	exact slabTopK // refine-phase exact top-k
+
+	// Per-cell relevant-POI cache: resolved once per visited cell into the
+	// shared relX/relY/relW arenas, delimited by [relStart, relEnd).
+	relStamp         []uint32
+	relStart, relEnd []uint32
+	relX, relY, relW []float64
+	mergeLo, mergeHi []uint32 // postings-merge list heads (≤ |query|)
+
+	// Refine scratch: per-ordinal relevant weights, the candidate arrays
+	// and the per-street best-segment table.
+	cwVal      []float64
+	cwStamp    []uint32
+	candSid    []uint32
+	candUB     []float64
+	candSorter candSorter
+	sbStamp    []uint32
+	sbInterest []float64
+	sbSeg      []uint32
+	sbMass     []float64
+	sbTouched  []uint32
+	resSorter  resultSorter
+
+	stats Stats
+}
+
+// grow returns a slice of length n, reusing s's storage when it is large
+// enough. Fresh storage is zeroed by the runtime, which the stamp arrays
+// rely on (epoch zero means never written).
+func growU32(s []uint32, n int) []uint32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint32, n)
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+// begin prepares the run for one evaluation over the given plan: bumps
+// the epoch, sizes every arena, resets the append buffers and builds SL1.
+func (r *slabRun) begin(plan *slabPlan) {
+	r.plan = plan
+	six := r.six
+	numSegs := len(six.segLen)
+	numCells := six.slab.NumCells()
+	numStreets := six.net.NumStreets()
+	numPairs := len(plan.segCell)
+
+	r.epoch++
+	wrapped := r.epoch == 0
+	if wrapped {
+		r.epoch = 1
+	}
+
+	r.segSeen = growU32(r.segSeen, numSegs)
+	r.segFinal = growU32(r.segFinal, numSegs)
+	r.segMass = growF64(r.segMass, numSegs)
+	r.segRemaining = growI32(r.segRemaining, numSegs)
+	r.visited = growU32(r.visited, numPairs)
+	r.contrib = growF64(r.contrib, numPairs)
+	r.relStamp = growU32(r.relStamp, numCells)
+	r.relStart = growU32(r.relStart, numCells)
+	r.relEnd = growU32(r.relEnd, numCells)
+	r.accW = growF64(r.accW, numCells)
+	r.accStamp = growU32(r.accStamp, numCells)
+	r.cwVal = growF64(r.cwVal, numCells)
+	r.cwStamp = growU32(r.cwStamp, numCells)
+	r.sbStamp = growU32(r.sbStamp, numStreets)
+	r.sbInterest = growF64(r.sbInterest, numStreets)
+	r.sbSeg = growU32(r.sbSeg, numStreets)
+	r.sbMass = growF64(r.sbMass, numStreets)
+	r.topk.init(r.k, numStreets)
+	r.exact.init(r.k, numStreets)
+	if wrapped {
+		for _, s := range [][]uint32{r.segSeen, r.segFinal, r.visited, r.relStamp,
+			r.accStamp, r.cwStamp, r.sbStamp, r.topk.bestStamp, r.topk.inTop,
+			r.exact.bestStamp, r.exact.inTop} {
+			for i := range s {
+				s[i] = 0
+			}
+		}
+	}
+
+	r.seen = r.seen[:0]
+	r.relX, r.relY, r.relW = r.relX[:0], r.relY[:0], r.relW[:0]
+	r.accTouched = r.accTouched[:0]
+	r.sbTouched = r.sbTouched[:0]
+	r.p1, r.p2, r.p3 = 0, 0, 0
+	r.tick = 0
+	r.stats = Stats{TotalSegments: numSegs, TotalCells: numCells}
+
+	r.buildSL1()
+}
+
+// release drops the per-evaluation references so a pooled run does not
+// pin the caller's context or query beyond the evaluation.
+func (r *slabRun) release() {
+	r.ctx = nil
+	r.query = nil
+	r.mc = nil
+	r.plan = nil
+	r.sl1Cell = nil
+	r.sl1W = nil
+}
+
+// buildSL1 mirrors Index.buildSL1 over the slab's vocab-major inverted
+// index. A single-keyword list aliases the slab directly; multi-keyword
+// accumulation sums each keyword's cell weights in query order (the same
+// per-cell addition order as the map layout) and caps at the cell's total
+// weight before sorting decreasingly by weight, ties by cell.
+func (r *slabRun) buildSL1() {
+	s := r.six.slab
+	inRange := func(kw vocab.ID) bool { return int(kw) < s.VocabN }
+	if len(r.query) == 1 {
+		kw := r.query[0]
+		if !inRange(kw) {
+			r.sl1Cell, r.sl1W = nil, nil
+			return
+		}
+		lo, hi := s.InvOff[kw], s.InvOff[kw+1]
+		r.sl1Cell = s.InvCell[lo:hi]
+		r.sl1W = s.InvWeight[lo:hi]
+		return
+	}
+	for _, kw := range r.query {
+		if !inRange(kw) {
+			continue
+		}
+		for j := s.InvOff[kw]; j < s.InvOff[kw+1]; j++ {
+			ord := s.InvCell[j]
+			if r.accStamp[ord] != r.epoch {
+				r.accStamp[ord] = r.epoch
+				r.accW[ord] = 0
+				r.accTouched = append(r.accTouched, ord)
+			}
+			r.accW[ord] += s.InvWeight[j]
+		}
+	}
+	r.sl1CellBuf = r.sl1CellBuf[:0]
+	r.sl1WBuf = r.sl1WBuf[:0]
+	for _, ord := range r.accTouched {
+		w := r.accW[ord]
+		if tw := s.CellWeight[ord]; w > tw {
+			w = tw
+		}
+		r.sl1CellBuf = append(r.sl1CellBuf, ord)
+		r.sl1WBuf = append(r.sl1WBuf, w)
+	}
+	r.sl1Sorter.cells = r.sl1CellBuf
+	r.sl1Sorter.weights = r.sl1WBuf
+	sort.Sort(&r.sl1Sorter)
+	r.sl1Cell = r.sl1CellBuf
+	r.sl1W = r.sl1WBuf
+}
+
+// sl1Sorter orders parallel (cell ordinal, weight) slices decreasingly by
+// weight, ties by ascending ordinal — the sortEntries order (ordinal
+// order is cell-id order).
+type sl1Sorter struct {
+	cells   []int32
+	weights []float64
+}
+
+func (s *sl1Sorter) Len() int { return len(s.cells) }
+func (s *sl1Sorter) Less(i, j int) bool {
+	if s.weights[i] != s.weights[j] {
+		return s.weights[i] > s.weights[j]
+	}
+	return s.cells[i] < s.cells[j]
+}
+func (s *sl1Sorter) Swap(i, j int) {
+	s.cells[i], s.cells[j] = s.cells[j], s.cells[i]
+	s.weights[i], s.weights[j] = s.weights[j], s.weights[i]
+}
+
+// checkpoint mirrors soiRun.checkpoint: fault site visit plus periodic
+// context poll.
+func (r *slabRun) checkpoint(site string) error {
+	if err := faults.InjectCtx(r.ctx, site); err != nil {
+		return err
+	}
+	r.tick++
+	if r.tick%cancelCheckEvery != 0 {
+		return nil
+	}
+	return r.ctx.Err()
+}
+
+// segGeom reconstructs a segment's geometry from the flattened arrays.
+func (r *slabRun) segGeom(sid uint32) geo.Segment {
+	six := r.six
+	return geo.Segment{
+		A: geo.Point{X: six.segAX[sid], Y: six.segAY[sid]},
+		B: geo.Point{X: six.segBX[sid], Y: six.segBY[sid]},
+	}
+}
+
+// relRange resolves the query-relevant POIs of a cell into the shared
+// arenas, once per run (soiRun.relevantInCell). The POIs appear in
+// ascending id order: single-keyword postings are already sorted, and the
+// multi-keyword path merges the sorted postings ranges synchronously,
+// deduplicating ids — the same order the map layout produces.
+func (r *slabRun) relRange(ord int32) (uint32, uint32) {
+	if r.relStamp[ord] == r.epoch {
+		return r.relStart[ord], r.relEnd[ord]
+	}
+	r.relStamp[ord] = r.epoch
+	lo := uint32(len(r.relX))
+	s := r.six.slab
+	kwLo, kwHi := s.KwOff[ord], s.KwOff[ord+1]
+	if len(r.query) == 1 {
+		if j := findKw(s.CellKw[kwLo:kwHi], r.query[0]); j >= 0 {
+			pj := kwLo + uint32(j)
+			r.appendRel(s.Postings[s.PostOff[pj]:s.PostOff[pj+1]])
+		}
+	} else {
+		r.mergeLo = r.mergeLo[:0]
+		r.mergeHi = r.mergeHi[:0]
+		for _, kw := range r.query {
+			j := findKw(s.CellKw[kwLo:kwHi], kw)
+			if j < 0 {
+				continue
+			}
+			pj := kwLo + uint32(j)
+			if s.PostOff[pj] < s.PostOff[pj+1] {
+				r.mergeLo = append(r.mergeLo, s.PostOff[pj])
+				r.mergeHi = append(r.mergeHi, s.PostOff[pj+1])
+			}
+		}
+		const sentinel = ^uint32(0)
+		for {
+			minID := sentinel
+			for i, lo := range r.mergeLo {
+				if lo < r.mergeHi[i] && s.Postings[lo] < minID {
+					minID = s.Postings[lo]
+				}
+			}
+			if minID == sentinel {
+				break
+			}
+			for i, lo := range r.mergeLo {
+				if lo < r.mergeHi[i] && s.Postings[lo] == minID {
+					r.mergeLo[i]++
+				}
+			}
+			r.relX = append(r.relX, s.ObjX[minID])
+			r.relY = append(r.relY, s.ObjY[minID])
+			r.relW = append(r.relW, s.ObjW[minID])
+		}
+	}
+	hi := uint32(len(r.relX))
+	r.relStart[ord], r.relEnd[ord] = lo, hi
+	return lo, hi
+}
+
+// appendRel copies the POIs of one postings range into the arenas.
+func (r *slabRun) appendRel(postings []uint32) {
+	s := r.six.slab
+	for _, m := range postings {
+		r.relX = append(r.relX, s.ObjX[m])
+		r.relY = append(r.relY, s.ObjY[m])
+		r.relW = append(r.relW, s.ObjW[m])
+	}
+}
+
+// findKw binary-searches a sorted keyword range for kw, returning its
+// index or -1.
+func findKw(kws []uint32, kw vocab.ID) int {
+	lo, hi := 0, len(kws)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if kws[mid] < kw {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(kws) && kws[lo] == kw {
+		return lo
+	}
+	return -1
+}
+
+// ensureSeen initializes a segment's state on first touch, including the
+// MassCache fast path (soiRun.state).
+func (r *slabRun) ensureSeen(sid uint32) {
+	if r.segSeen[sid] == r.epoch {
+		return
+	}
+	r.segSeen[sid] = r.epoch
+	r.seen = append(r.seen, sid)
+	r.stats.SegmentsSeen++
+	lo, hi := r.plan.segCellOff[sid], r.plan.segCellOff[sid+1]
+	if lo == hi {
+		r.segMass[sid] = 0
+		r.segFinal[sid] = r.epoch
+		r.stats.SegmentsFinal++
+		return
+	}
+	if r.mc != nil {
+		if m, ok := r.mc.getFinal(finalKey{sid: network.SegmentID(sid), psi: r.psi, eps: r.eps}); ok {
+			r.segMass[sid] = m
+			r.segFinal[sid] = r.epoch
+			r.stats.SegmentsFinal++
+			r.stats.SegmentCacheHits++
+			if m > 0 {
+				r.topk.update(r.six.segStreet[sid], Interest(m, r.six.segLen[sid], r.eps), r.epoch)
+			}
+			return
+		}
+	}
+	r.segMass[sid] = 0
+	r.segFinal[sid] = 0
+	r.segRemaining[sid] = int32(hi - lo)
+}
+
+// updateInterest visits cell ord for segment sid (soiRun.updateInterest):
+// locate the cell in the segment's canonical Cε(ℓ) range, mark it
+// visited, and apply the visit.
+func (r *slabRun) updateInterest(sid uint32, ord int32) {
+	r.ensureSeen(sid)
+	if r.segFinal[sid] == r.epoch {
+		return
+	}
+	lo, hi := r.plan.segCellOff[sid], r.plan.segCellOff[sid+1]
+	for j := lo; j < hi; j++ {
+		if r.plan.segCell[j] == ord {
+			if r.visited[j] == r.epoch {
+				return
+			}
+			r.visited[j] = r.epoch
+			r.segRemaining[sid]--
+			r.applyVisit(sid, j, ord)
+			return
+		}
+	}
+}
+
+// applyVisit computes one cell's mass contribution with the batched
+// distance kernel and folds it into the segment state
+// (soiRun.applyVisit). The kernel's per-point arithmetic is identical to
+// DistToPointSq, and the POIs stream in the same order, so the
+// contribution is the same float the map layout computes.
+func (r *slabRun) applyVisit(sid uint32, pair uint32, ord int32) {
+	r.stats.CellVisits++
+	lo, hi := r.relRange(ord)
+	seg := r.segGeom(sid)
+	epsSq := r.eps * r.eps
+	contrib := seg.AccumWeightsWithin(r.relX[lo:hi], r.relY[lo:hi], r.relW[lo:hi], epsSq)
+	r.contrib[pair] = contrib
+	r.segMass[sid] += contrib
+	if r.segRemaining[sid] == 0 {
+		r.finalizeMass(sid)
+	}
+	if r.segMass[sid] > 0 {
+		r.topk.update(r.six.segStreet[sid], Interest(r.segMass[sid], r.six.segLen[sid], r.eps), r.epoch)
+	}
+}
+
+// finalizeMass refolds the exact mass in canonical Cε(ℓ) order
+// (soiRun.finalizeMass), making it a pure function of ⟨segment, Ψ, ε⟩.
+func (r *slabRun) finalizeMass(sid uint32) {
+	var m float64
+	for _, c := range r.contrib[r.plan.segCellOff[sid]:r.plan.segCellOff[sid+1]] {
+		m += c
+	}
+	r.segMass[sid] = m
+	r.segFinal[sid] = r.epoch
+	r.stats.SegmentsFinal++
+	if r.mc != nil {
+		r.mc.putFinal(finalKey{sid: network.SegmentID(sid), psi: r.psi, eps: r.eps}, m)
+	}
+}
+
+// skipFinal advances a segment-list pointer past final segments.
+func (r *slabRun) skipFinal(list []network.SegmentID, p int) int {
+	for p < len(list) && r.segFinal[list[p]] == r.epoch {
+		p++
+	}
+	return p
+}
+
+// unseenUpperBound computes UB = top(SL1)·top(SL2) / (2ε·top(SL3) + πε²)
+// (soiRun.unseenUpperBound).
+func (r *slabRun) unseenUpperBound() float64 {
+	r.p2 = r.skipFinal(r.plan.sl2, r.p2)
+	r.p3 = r.skipFinal(r.six.segsByLen, r.p3)
+	if r.p1 >= len(r.sl1Cell) || r.p2 >= len(r.plan.sl2) || r.p3 >= len(r.six.segsByLen) {
+		return 0
+	}
+	top1 := r.sl1W[r.p1]
+	sid2 := r.plan.sl2[r.p2]
+	top2 := float64(r.plan.segCellOff[sid2+1] - r.plan.segCellOff[sid2])
+	top3 := r.six.segLen[r.six.segsByLen[r.p3]]
+	return Interest(top1*top2, top3, r.eps)
+}
+
+// remainingCells mirrors soiRun.remainingCells.
+func (r *slabRun) remainingCells(sid network.SegmentID) int {
+	if r.segSeen[sid] == r.epoch {
+		return int(r.segRemaining[sid])
+	}
+	return int(r.plan.segCellOff[sid+1] - r.plan.segCellOff[sid])
+}
+
+// finalizeSegment visits every remaining cell of a segment
+// (soiRun.finalizeSegment).
+func (r *slabRun) finalizeSegment(sid network.SegmentID) {
+	r.stats.SegmentAccesses++
+	r.ensureSeen(uint32(sid))
+	r.drainSegment(uint32(sid))
+}
+
+// drainSegment visits the remaining cells of a seen segment in canonical
+// order (soiRun.drainSegment).
+func (r *slabRun) drainSegment(sid uint32) {
+	lo, hi := r.plan.segCellOff[sid], r.plan.segCellOff[sid+1]
+	for j := lo; j < hi; j++ {
+		if r.segFinal[sid] == r.epoch {
+			return
+		}
+		if r.visited[j] == r.epoch {
+			continue
+		}
+		r.visited[j] = r.epoch
+		r.segRemaining[sid]--
+		r.applyVisit(sid, j, r.plan.segCell[j])
+	}
+}
+
+// filter is the cost-aware main loop of Algorithm 1, identical in control
+// flow to soiRun.filter (CostAware branch).
+func (r *slabRun) filter() error {
+	totalPairs := len(r.plan.segCell)
+	numSegs := len(r.six.segLen)
+	avgCells := 1.0
+	if numSegs > 0 {
+		avgCells = float64(totalPairs) / float64(numSegs)
+	}
+	monsterCells := int(4 * avgCells)
+	cheapCells := int(avgCells / 2)
+	if cheapCells < 4 {
+		cheapCells = 4
+	}
+	for {
+		r.stats.FilterIterations++
+		if err := r.checkpoint(SiteFilter); err != nil {
+			return err
+		}
+		if ub := r.unseenUpperBound(); ub == 0 || ub < r.topk.bound(r.epoch) {
+			return nil
+		}
+		if r.p1 >= len(r.sl1Cell) {
+			return nil
+		}
+		ord := r.sl1Cell[r.p1]
+		r.p1++
+		r.stats.CellAccesses++
+		for _, sid := range r.plan.cellSeg[r.plan.cellSegOff[ord]:r.plan.cellSegOff[ord+1]] {
+			r.updateInterest(sid, ord)
+		}
+		r.p3 = r.skipFinal(r.six.segsByLen, r.p3)
+		for burst := 0; burst < 4 && r.p3 < len(r.six.segsByLen); burst++ {
+			sid := r.six.segsByLen[r.p3]
+			if r.remainingCells(sid) > cheapCells {
+				break
+			}
+			r.stats.SL3Accesses++
+			r.finalizeSegment(sid)
+			r.p3++
+			r.p3 = r.skipFinal(r.six.segsByLen, r.p3)
+		}
+		r.p2 = r.skipFinal(r.plan.sl2, r.p2)
+		if r.p2 < len(r.plan.sl2) {
+			sid := r.plan.sl2[r.p2]
+			if int(r.plan.segCellOff[sid+1]-r.plan.segCellOff[sid]) >= monsterCells {
+				r.stats.SL2Accesses++
+				r.finalizeSegment(sid)
+				r.p2++
+			}
+		}
+	}
+}
+
+// refine extracts the k most interesting streets from the seen segments,
+// identical in control flow to soiRun.refine; per-street and per-cell
+// maps become stamped arrays, and candidates sort in owned buffers.
+func (r *slabRun) refine(out []StreetResult) ([]StreetResult, error) {
+	for i, ord := range r.sl1Cell {
+		r.cwVal[ord] = r.sl1W[i]
+		r.cwStamp[ord] = r.epoch
+	}
+	r.candSid = r.candSid[:0]
+	r.candUB = r.candUB[:0]
+	for _, sid := range r.seen {
+		pot := r.segMass[sid]
+		if r.segFinal[sid] != r.epoch {
+			for j := r.plan.segCellOff[sid]; j < r.plan.segCellOff[sid+1]; j++ {
+				if r.visited[j] != r.epoch {
+					if ord := r.plan.segCell[j]; r.cwStamp[ord] == r.epoch {
+						pot += r.cwVal[ord]
+					}
+				}
+			}
+		}
+		if pot <= 0 {
+			continue
+		}
+		r.candSid = append(r.candSid, sid)
+		r.candUB = append(r.candUB, Interest(pot, r.six.segLen[sid], r.eps))
+	}
+	r.candSorter.sids = r.candSid
+	r.candSorter.ubs = r.candUB
+	sort.Sort(&r.candSorter)
+
+	for i, sid := range r.candSid {
+		if err := r.checkpoint(SiteRefine); err != nil {
+			return nil, err
+		}
+		if bound := r.exact.bound(r.epoch); bound > 0 && r.candUB[i] < bound {
+			break
+		}
+		if r.segFinal[sid] != r.epoch {
+			r.stats.RefineDrained++
+			r.drainSegment(sid)
+		}
+		mass := r.segMass[sid]
+		if mass <= 0 {
+			continue
+		}
+		in := Interest(mass, r.six.segLen[sid], r.eps)
+		street := r.six.segStreet[sid]
+		r.exact.update(street, in, r.epoch)
+		if r.sbStamp[street] != r.epoch {
+			r.sbStamp[street] = r.epoch
+			r.sbTouched = append(r.sbTouched, street)
+			r.sbInterest[street] = in
+			r.sbSeg[street] = sid
+			r.sbMass[street] = mass
+		} else if in > r.sbInterest[street] || (in == r.sbInterest[street] && sid < r.sbSeg[street]) {
+			r.sbInterest[street] = in
+			r.sbSeg[street] = sid
+			r.sbMass[street] = mass
+		}
+	}
+	base := len(out)
+	for _, street := range r.sbTouched {
+		out = append(out, StreetResult{
+			Street:      network.StreetID(street),
+			Name:        r.six.net.Street(network.StreetID(street)).Name,
+			Interest:    r.sbInterest[street],
+			BestSegment: network.SegmentID(r.sbSeg[street]),
+			Mass:        r.sbMass[street],
+		})
+	}
+	r.resSorter.rs = out[base:]
+	sort.Sort(&r.resSorter)
+	r.resSorter.rs = nil
+	if len(out)-base > r.k {
+		out = out[:base+r.k]
+	}
+	return out, nil
+}
+
+// candSorter orders parallel (segment id, upper bound) slices decreasingly
+// by bound, ties by ascending segment id.
+type candSorter struct {
+	sids []uint32
+	ubs  []float64
+}
+
+func (s *candSorter) Len() int { return len(s.sids) }
+func (s *candSorter) Less(i, j int) bool {
+	if s.ubs[i] != s.ubs[j] {
+		return s.ubs[i] > s.ubs[j]
+	}
+	return s.sids[i] < s.sids[j]
+}
+func (s *candSorter) Swap(i, j int) {
+	s.sids[i], s.sids[j] = s.sids[j], s.sids[i]
+	s.ubs[i], s.ubs[j] = s.ubs[j], s.ubs[i]
+}
+
+// resultSorter orders street results canonically (sortResults) without
+// the sort.Slice closure allocation.
+type resultSorter struct {
+	rs []StreetResult
+}
+
+func (s *resultSorter) Len() int { return len(s.rs) }
+func (s *resultSorter) Less(i, j int) bool {
+	if s.rs[i].Interest != s.rs[j].Interest {
+		return s.rs[i].Interest > s.rs[j].Interest
+	}
+	return s.rs[i].Street < s.rs[j].Street
+}
+func (s *resultSorter) Swap(i, j int) { s.rs[i], s.rs[j] = s.rs[j], s.rs[i] }
+
+// slabTopK is streetTopK rebuilt on stamped arrays and a manual binary
+// min-heap over parallel slices: per-street best values under
+// increase-only updates, with bound() returning the k-th largest. The
+// update/evict decisions compare the same floats as streetTopK, and
+// bound() returns the minimum valid heap value — the same k-th largest —
+// so the two implementations produce identical bound sequences.
+type slabTopK struct {
+	k    int
+	nTop int
+
+	best      []float64 // per street, valid when bestStamp matches
+	bestStamp []uint32
+	inTop     []uint32 // stamp: street counted in the top-k
+
+	hs []uint32 // heap: street ids
+	hv []float64
+}
+
+// init sizes the arrays for a run and empties the heap. Stamped slots
+// from earlier runs invalidate themselves via the epoch.
+func (t *slabTopK) init(k, numStreets int) {
+	t.k = k
+	t.nTop = 0
+	t.best = growF64(t.best, numStreets)
+	t.bestStamp = growU32(t.bestStamp, numStreets)
+	t.inTop = growU32(t.inTop, numStreets)
+	t.hs = t.hs[:0]
+	t.hv = t.hv[:0]
+}
+
+func (t *slabTopK) push(s uint32, v float64) {
+	t.hs = append(t.hs, s)
+	t.hv = append(t.hv, v)
+	i := len(t.hv) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.hv[p] <= t.hv[i] {
+			break
+		}
+		t.hs[p], t.hs[i] = t.hs[i], t.hs[p]
+		t.hv[p], t.hv[i] = t.hv[i], t.hv[p]
+		i = p
+	}
+}
+
+func (t *slabTopK) pop() (uint32, float64) {
+	s, v := t.hs[0], t.hv[0]
+	n := len(t.hv) - 1
+	t.hs[0], t.hv[0] = t.hs[n], t.hv[n]
+	t.hs, t.hv = t.hs[:n], t.hv[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && t.hv[l] < t.hv[min] {
+			min = l
+		}
+		if r < n && t.hv[r] < t.hv[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		t.hs[i], t.hs[min] = t.hs[min], t.hs[i]
+		t.hv[i], t.hv[min] = t.hv[min], t.hv[i]
+		i = min
+	}
+	return s, v
+}
+
+// popStale drops heap entries that no longer reflect a street's current
+// best value or top-k membership.
+func (t *slabTopK) popStale(epoch uint32) {
+	for len(t.hv) > 0 {
+		s, v := t.hs[0], t.hv[0]
+		if t.inTop[s] == epoch && t.best[s] == v {
+			return
+		}
+		t.pop()
+	}
+}
+
+// update raises street's best value to v when it improves (streetTopK.Update).
+func (t *slabTopK) update(street uint32, v float64, epoch uint32) {
+	if t.bestStamp[street] == epoch && v <= t.best[street] {
+		return
+	}
+	t.best[street] = v
+	t.bestStamp[street] = epoch
+	if t.inTop[street] == epoch {
+		t.push(street, v)
+		return
+	}
+	if t.nTop < t.k {
+		t.inTop[street] = epoch
+		t.nTop++
+		t.push(street, v)
+		return
+	}
+	t.popStale(epoch)
+	if len(t.hv) == 0 || v <= t.hv[0] {
+		return
+	}
+	evicted, _ := t.pop()
+	t.inTop[evicted] = 0
+	t.inTop[street] = epoch
+	t.push(street, v)
+}
+
+// bound returns the current k-th largest best value, or 0 while fewer
+// than k streets have been seen (streetTopK.Bound).
+func (t *slabTopK) bound(epoch uint32) float64 {
+	if t.nTop < t.k {
+		return 0
+	}
+	t.popStale(epoch)
+	if len(t.hv) == 0 {
+		return 0
+	}
+	return t.hv[0]
+}

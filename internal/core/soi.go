@@ -307,6 +307,11 @@ func (ix *Index) SOIWithCache(q Query, strat Strategy, mc *MassCache) ([]StreetR
 // checkpoints read state only, so results remain bit-identical to an
 // uncancellable evaluation.
 func (ix *Index) SOIContext(ctx context.Context, q Query, strat Strategy, mc *MassCache) ([]StreetResult, Stats, error) {
+	if six := ix.six; six != nil && strat == CostAware {
+		// The compact slab path evaluates the same cost-aware schedule
+		// allocation-free and returns bit-identical results.
+		return six.SOIContext(ctx, q, mc)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, Stats{}, err
 	}

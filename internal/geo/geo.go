@@ -94,6 +94,49 @@ func (s Segment) DistToPointSq(p Point) float64 {
 	return p.DistSq(s.ClosestPoint(p))
 }
 
+// AccumWeightsWithin streams the points (xs[i], ys[i]) through the
+// point-to-segment distance test and returns the sum of ws[i] over the
+// points within distance √epsSq of s, accumulated in index order. The
+// per-point arithmetic is identical to DistToPointSq (the segment-side
+// invariants are merely hoisted out of the loop), so the result is
+// bit-for-bit the sum a DistToPointSq loop would produce; hot paths use
+// it to avoid per-point call overhead and slice indexing checks.
+func (s Segment) AccumWeightsWithin(xs, ys, ws []float64, epsSq float64) float64 {
+	dx, dy := s.B.X-s.A.X, s.B.Y-s.A.Y
+	lenSq := dx*dx + dy*dy
+	ax, ay := s.A.X, s.A.Y
+	bx, by := s.B.X, s.B.Y
+	var sum float64
+	if lenSq == 0 {
+		// Degenerate segment: distance to the single point A.
+		for i, px := range xs {
+			ddx, ddy := px-ax, ys[i]-ay
+			if ddx*ddx+ddy*ddy <= epsSq {
+				sum += ws[i]
+			}
+		}
+		return sum
+	}
+	for i, px := range xs {
+		py := ys[i]
+		t := ((px-ax)*dx + (py-ay)*dy) / lenSq
+		var cx, cy float64
+		switch {
+		case t <= 0:
+			cx, cy = ax, ay
+		case t >= 1:
+			cx, cy = bx, by
+		default:
+			cx, cy = ax+t*dx, ay+t*dy
+		}
+		ddx, ddy := px-cx, py-cy
+		if ddx*ddx+ddy*ddy <= epsSq {
+			sum += ws[i]
+		}
+	}
+	return sum
+}
+
 // Bounds returns the minimum bounding rectangle of the segment.
 func (s Segment) Bounds() Rect {
 	return Rect{

@@ -62,6 +62,13 @@ type Config struct {
 // locations and keyword sets. Objects outside Bounds are clamped into the
 // border cells so that no object is lost.
 func Build(cfg Config, locs []geo.Point, keys []vocab.Set) (*Grid, error) {
+	return build(cfg, locs, keys, runtime.GOMAXPROCS(0))
+}
+
+// build is Build with an explicit worker count, so tests can pin the
+// sharded ingestion path to arbitrary parallelism and verify the result
+// is independent of it.
+func build(cfg Config, locs []geo.Point, keys []vocab.Set, workers int) (*Grid, error) {
 	if cfg.CellSize <= 0 {
 		return nil, fmt.Errorf("grid: non-positive cell size %v", cfg.CellSize)
 	}
@@ -92,7 +99,6 @@ func Build(cfg Config, locs []geo.Point, keys []vocab.Set) (*Grid, error) {
 		cells:    make(map[CellID]*Cell),
 		n:        len(locs),
 	}
-	workers := runtime.GOMAXPROCS(0)
 	if len(locs) < parallelBuildThreshold || workers < 2 {
 		g.buildCells(locs, keys, nil, 1, 0)
 	} else {

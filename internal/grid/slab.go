@@ -1,0 +1,356 @@
+// Slab is the compact, struct-of-arrays form of a built Grid plus the
+// weighted global inverted index of Section 3.2.1, flattened into a
+// handful of contiguous arrays: per-cell member and postings lists become
+// offset ranges into shared uint32 segments, and the keyword → cells map
+// becomes a vocab-major CSR (one offset range of (cell, weight) entries
+// per keyword id, sorted decreasingly by weight). The layout removes every
+// per-cell map and pointer, so query hot loops walk dense arrays only, and
+// it admits a trivially mmap-able binary encoding (slabio.go).
+//
+// A Slab is immutable after construction; every slice field is shared,
+// read-only data. Callers (including internal/core's SL1/SL2/SL3 loops)
+// must not modify any field.
+
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/vocab"
+)
+
+// Slab is the flattened grid index. Cells appear in ascending CellID
+// order; the index of a cell in CellIDs is its ordinal, and every other
+// per-cell array is indexed by ordinal.
+type Slab struct {
+	// Bounds, CellSize, NX and NY mirror the source grid geometry.
+	Bounds   geo.Rect
+	CellSize float64
+	NX, NY   int
+	// NumObjects is the number of indexed objects; object ids are dense
+	// in [0, NumObjects).
+	NumObjects int
+	// VocabN is the keyword id space size covered by the inverted index
+	// (max posting keyword id + 1); keywords ≥ VocabN have no postings.
+	VocabN int
+
+	// CellIDs lists the non-empty cells, sorted ascending.
+	CellIDs []int32
+	// PsiMin and PsiMax carry the per-cell keyword-set cardinality bounds
+	// (c.ψmin, c.ψmax).
+	PsiMin, PsiMax []int32
+	// CellWeight is the total object weight per cell (|Pc| generalized to
+	// weights).
+	CellWeight []float64
+
+	// MemberOff[i] .. MemberOff[i+1] delimits cell i's members (object
+	// ids, sorted ascending) in Members. len(MemberOff) == NumCells()+1.
+	MemberOff []uint32
+	Members   []uint32
+
+	// KwOff[i] .. KwOff[i+1] delimits cell i's keyword entries in CellKw
+	// (keyword ids, sorted ascending). For entry j, PostOff[j] ..
+	// PostOff[j+1] delimits the keyword's postings (object ids, sorted
+	// ascending) in Postings. len(PostOff) == len(CellKw)+1.
+	KwOff    []uint32
+	CellKw   []uint32
+	PostOff  []uint32
+	Postings []uint32
+
+	// InvOff[kw] .. InvOff[kw+1] delimits keyword kw's entries in InvCell
+	// and InvWeight: the cells (as ordinals) containing the keyword with
+	// their relevant weights, sorted decreasingly by weight, ties broken
+	// by ascending cell. len(InvOff) == VocabN+1.
+	InvOff    []uint32
+	InvCell   []int32
+	InvWeight []float64
+
+	// ObjX, ObjY and ObjW are the object coordinates and weights, indexed
+	// by object id (struct-of-arrays so distance kernels stream them).
+	ObjX, ObjY, ObjW []float64
+}
+
+// NewSlab flattens a built grid into slab form. locs must be the object
+// locations the grid was built over (indexed by object id); weights
+// optionally carries per-object weights (nil means weight 1 everywhere).
+// The construction is deterministic: it depends only on the grid contents,
+// never on map iteration order, so slabs built from grids ingested with
+// different worker counts are byte-identical.
+func NewSlab(g *Grid, locs []geo.Point, weights []float64) (*Slab, error) {
+	if g.Len() != len(locs) {
+		return nil, fmt.Errorf("grid: slab over %d locations but grid indexes %d objects", len(locs), g.Len())
+	}
+	if weights != nil && len(weights) != len(locs) {
+		return nil, fmt.Errorf("grid: %d locations but %d weights", len(locs), len(weights))
+	}
+	w := func(id uint32) float64 {
+		if weights == nil {
+			return 1
+		}
+		return weights[id]
+	}
+
+	cells := g.NonEmptyCells()
+	s := &Slab{
+		Bounds:     g.Bounds(),
+		CellSize:   g.CellSize(),
+		NX:         g.nx,
+		NY:         g.ny,
+		NumObjects: g.Len(),
+		CellIDs:    make([]int32, len(cells)),
+		PsiMin:     make([]int32, len(cells)),
+		PsiMax:     make([]int32, len(cells)),
+		CellWeight: make([]float64, len(cells)),
+		MemberOff:  make([]uint32, len(cells)+1),
+		KwOff:      make([]uint32, len(cells)+1),
+		ObjX:       make([]float64, len(locs)),
+		ObjY:       make([]float64, len(locs)),
+		ObjW:       make([]float64, len(locs)),
+	}
+	for i, p := range locs {
+		s.ObjX[i] = p.X
+		s.ObjY[i] = p.Y
+		s.ObjW[i] = w(uint32(i))
+	}
+
+	// kwEntry accumulates the vocab-major inverted index; entries are
+	// appended in ascending cell-ordinal order and later sorted by weight.
+	type kwEntry struct {
+		ord    int32
+		weight float64
+	}
+	perKw := make(map[vocab.ID][]kwEntry)
+
+	for ord, cid := range cells {
+		c := g.CellAt(cid)
+		s.CellIDs[ord] = int32(cid)
+		s.PsiMin[ord] = int32(c.PsiMin)
+		s.PsiMax[ord] = int32(c.PsiMax)
+		var total float64
+		for _, m := range c.Members {
+			total += s.ObjW[m]
+		}
+		s.CellWeight[ord] = total
+		s.Members = append(s.Members, c.Members...)
+		s.MemberOff[ord+1] = uint32(len(s.Members))
+		// Keywords are already sorted (vocab.Set invariant).
+		for _, kw := range c.Keywords {
+			postings := c.Inv[kw]
+			s.CellKw = append(s.CellKw, uint32(kw))
+			s.Postings = append(s.Postings, postings...)
+			s.PostOff = append(s.PostOff, uint32(len(s.Postings)))
+			var kwWeight float64
+			for _, m := range postings {
+				kwWeight += s.ObjW[m]
+			}
+			perKw[kw] = append(perKw[kw], kwEntry{ord: int32(ord), weight: kwWeight})
+			if int(kw) >= s.VocabN {
+				s.VocabN = int(kw) + 1
+			}
+		}
+		s.KwOff[ord+1] = uint32(len(s.CellKw))
+	}
+	// PostOff needs the leading 0 that the append loop above skipped.
+	s.PostOff = append([]uint32{0}, s.PostOff...)
+
+	s.InvOff = make([]uint32, s.VocabN+1)
+	for kw := 0; kw < s.VocabN; kw++ {
+		es := perKw[vocab.ID(kw)]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].weight != es[j].weight {
+				return es[i].weight > es[j].weight
+			}
+			return es[i].ord < es[j].ord
+		})
+		for _, e := range es {
+			s.InvCell = append(s.InvCell, e.ord)
+			s.InvWeight = append(s.InvWeight, e.weight)
+		}
+		s.InvOff[kw+1] = uint32(len(s.InvCell))
+	}
+	return s, nil
+}
+
+// NumCells returns the number of non-empty cells.
+func (s *Slab) NumCells() int { return len(s.CellIDs) }
+
+// OrdinalOf returns the ordinal of cell id, or -1 when the cell is empty.
+func (s *Slab) OrdinalOf(id CellID) int {
+	lo, hi := 0, len(s.CellIDs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.CellIDs[mid] < int32(id) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.CellIDs) && s.CellIDs[lo] == int32(id) {
+		return lo
+	}
+	return -1
+}
+
+// CellRect returns the rectangle covered by cell id, with the same
+// arithmetic as Grid.CellRect so geometric predicates agree bit-for-bit.
+func (s *Slab) CellRect(id CellID) geo.Rect {
+	ix, iy := int(id)%s.NX, int(id)/s.NX
+	minX := s.Bounds.MinX + float64(ix)*s.CellSize
+	minY := s.Bounds.MinY + float64(iy)*s.CellSize
+	return geo.Rect{MinX: minX, MinY: minY, MaxX: minX + s.CellSize, MaxY: minY + s.CellSize}
+}
+
+// CellsNearSegmentInto appends the ordinals of all non-empty cells within
+// distance eps of seg to buf (ascending), reusing its capacity. The
+// predicate is identical to Grid.CellsNearSegment, so the resulting cell
+// sets — and every mass computed from them — match the map layout exactly.
+func (s *Slab) CellsNearSegmentInto(seg geo.Segment, eps float64, buf []int32) []int32 {
+	b := seg.Bounds().Expand(eps)
+	ix0 := clamp(int((b.MinX-s.Bounds.MinX)/s.CellSize), 0, s.NX-1)
+	ix1 := clamp(int((b.MaxX-s.Bounds.MinX)/s.CellSize), 0, s.NX-1)
+	iy0 := clamp(int((b.MinY-s.Bounds.MinY)/s.CellSize), 0, s.NY-1)
+	iy1 := clamp(int((b.MaxY-s.Bounds.MinY)/s.CellSize), 0, s.NY-1)
+	for iy := iy0; iy <= iy1; iy++ {
+		// One binary search locates the row's first candidate ordinal;
+		// the sorted CellIDs array is then scanned forward.
+		rowLo := int32(iy*s.NX + ix0)
+		rowHi := int32(iy*s.NX + ix1)
+		ord := sort.Search(len(s.CellIDs), func(i int) bool { return s.CellIDs[i] >= rowLo })
+		for ; ord < len(s.CellIDs) && s.CellIDs[ord] <= rowHi; ord++ {
+			id := CellID(s.CellIDs[ord])
+			if s.CellRect(id).DistToSegment(seg) <= eps {
+				buf = append(buf, int32(ord))
+			}
+		}
+	}
+	return buf
+}
+
+// FromSlab reconstructs the map-layout grid from a slab. The returned
+// grid aliases the slab's arrays (members, postings and keyword sets are
+// subslices), so it inherits the slab's read-only contract; use it to
+// serve the map-based query paths from a loaded snapshot without
+// re-ingesting objects.
+func FromSlab(s *Slab) *Grid {
+	g := &Grid{
+		bounds:   s.Bounds,
+		cellSize: s.CellSize,
+		nx:       s.NX,
+		ny:       s.NY,
+		n:        s.NumObjects,
+		cells:    make(map[CellID]*Cell, s.NumCells()),
+	}
+	for ord := range s.CellIDs {
+		kwLo, kwHi := s.KwOff[ord], s.KwOff[ord+1]
+		// Three-index subslices cap every aliased list at its own length,
+		// so an append (dynamic insertion) reallocates instead of writing
+		// into the next cell's range.
+		c := &Cell{
+			Members:  s.Members[s.MemberOff[ord]:s.MemberOff[ord+1]:s.MemberOff[ord+1]],
+			Inv:      make(map[vocab.ID][]uint32, kwHi-kwLo),
+			Keywords: vocab.Set(s.CellKw[kwLo:kwHi:kwHi]),
+			PsiMin:   int(s.PsiMin[ord]),
+			PsiMax:   int(s.PsiMax[ord]),
+		}
+		for j := kwLo; j < kwHi; j++ {
+			c.Inv[vocab.ID(s.CellKw[j])] = s.Postings[s.PostOff[j]:s.PostOff[j+1]:s.PostOff[j+1]]
+		}
+		g.cells[CellID(s.CellIDs[ord])] = c
+	}
+	return g
+}
+
+// Validate checks the slab's structural invariants: monotone offset
+// arrays that end at their target array's length, sorted cell ids within
+// the grid dimensions, in-range ordinals, object ids and keyword ids, and
+// finite geometry. Decoded slabs are validated before use so a corrupt
+// snapshot surfaces as an error instead of an out-of-range panic.
+func (s *Slab) Validate() error {
+	if s.NX <= 0 || s.NY <= 0 {
+		return fmt.Errorf("grid: slab dims %dx%d", s.NX, s.NY)
+	}
+	if !(s.CellSize > 0) || math.IsInf(s.CellSize, 0) {
+		return fmt.Errorf("grid: slab cell size %v", s.CellSize)
+	}
+	if !s.Bounds.IsValid() {
+		return fmt.Errorf("grid: slab bounds %v invalid", s.Bounds)
+	}
+	if s.NumObjects < 0 || s.VocabN < 0 {
+		return fmt.Errorf("grid: slab negative counts (%d objects, %d keywords)", s.NumObjects, s.VocabN)
+	}
+	c := len(s.CellIDs)
+	if len(s.PsiMin) != c || len(s.PsiMax) != c || len(s.CellWeight) != c {
+		return fmt.Errorf("grid: slab per-cell array lengths disagree with %d cells", c)
+	}
+	if len(s.ObjX) != s.NumObjects || len(s.ObjY) != s.NumObjects || len(s.ObjW) != s.NumObjects {
+		return fmt.Errorf("grid: slab object arrays disagree with %d objects", s.NumObjects)
+	}
+	limit := int64(s.NX) * int64(s.NY)
+	for i, id := range s.CellIDs {
+		if int64(id) < 0 || int64(id) >= limit {
+			return fmt.Errorf("grid: slab cell id %d outside %dx%d grid", id, s.NX, s.NY)
+		}
+		if i > 0 && s.CellIDs[i-1] >= id {
+			return fmt.Errorf("grid: slab cell ids not strictly increasing at %d", i)
+		}
+	}
+	if err := checkCSR("members", s.MemberOff, c, len(s.Members)); err != nil {
+		return err
+	}
+	if err := checkCSR("cell keywords", s.KwOff, c, len(s.CellKw)); err != nil {
+		return err
+	}
+	if err := checkCSR("postings", s.PostOff, len(s.CellKw), len(s.Postings)); err != nil {
+		return err
+	}
+	if err := checkCSR("inverted", s.InvOff, s.VocabN, len(s.InvCell)); err != nil {
+		return err
+	}
+	if len(s.InvWeight) != len(s.InvCell) {
+		return fmt.Errorf("grid: slab inverted weights (%d) disagree with cells (%d)", len(s.InvWeight), len(s.InvCell))
+	}
+	for _, m := range s.Members {
+		if int(m) >= s.NumObjects {
+			return fmt.Errorf("grid: slab member id %d outside %d objects", m, s.NumObjects)
+		}
+	}
+	for _, m := range s.Postings {
+		if int(m) >= s.NumObjects {
+			return fmt.Errorf("grid: slab posting id %d outside %d objects", m, s.NumObjects)
+		}
+	}
+	for _, kw := range s.CellKw {
+		if int(kw) >= s.VocabN {
+			return fmt.Errorf("grid: slab keyword id %d outside vocab %d", kw, s.VocabN)
+		}
+	}
+	for _, ord := range s.InvCell {
+		if ord < 0 || int(ord) >= c {
+			return fmt.Errorf("grid: slab inverted ordinal %d outside %d cells", ord, c)
+		}
+	}
+	return nil
+}
+
+// checkCSR validates one offset array: len n+1, starting at zero,
+// non-decreasing, ending at the target length.
+func checkCSR(name string, off []uint32, n, target int) error {
+	if len(off) != n+1 {
+		return fmt.Errorf("grid: slab %s offsets len %d, want %d", name, len(off), n+1)
+	}
+	if off[0] != 0 {
+		return fmt.Errorf("grid: slab %s offsets start at %d", name, off[0])
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("grid: slab %s offsets decrease at %d", name, i)
+		}
+	}
+	if int(off[n]) != target {
+		return fmt.Errorf("grid: slab %s offsets end at %d, want %d", name, off[n], target)
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+package grid_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/vocab"
+)
+
+// slabWorld generates a reproducible random object set.
+func slabWorld(seed int64, n, vocabN int) ([]geo.Point, []vocab.Set, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	locs := make([]geo.Point, n)
+	keys := make([]vocab.Set, n)
+	weights := make([]float64, n)
+	for i := range locs {
+		locs[i] = geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 80}
+		ids := make([]vocab.ID, rng.Intn(4))
+		for j := range ids {
+			ids[j] = vocab.ID(rng.Intn(vocabN))
+		}
+		keys[i] = vocab.NewSet(ids)
+		weights[i] = 0.5 + rng.Float64()
+	}
+	return locs, keys, weights
+}
+
+func buildSlab(t *testing.T, seed int64, n, vocabN int, weighted bool) (*grid.Grid, *grid.Slab, []geo.Point, []float64) {
+	t.Helper()
+	locs, keys, weights := slabWorld(seed, n, vocabN)
+	if !weighted {
+		weights = nil
+	}
+	g, err := grid.Build(grid.Config{CellSize: 5}, locs, keys)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s, err := grid.NewSlab(g, locs, weights)
+	if err != nil {
+		t.Fatalf("NewSlab: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate on fresh slab: %v", err)
+	}
+	return g, s, locs, weights
+}
+
+// TestSlabMatchesGrid verifies every flattened structure against the map
+// layout cell by cell.
+func TestSlabMatchesGrid(t *testing.T) {
+	g, s, _, weights := buildSlab(t, 1, 500, 12, true)
+
+	cells := g.NonEmptyCells()
+	if s.NumCells() != len(cells) {
+		t.Fatalf("slab has %d cells, grid %d", s.NumCells(), len(cells))
+	}
+	for ord, cid := range cells {
+		if got := s.OrdinalOf(cid); got != ord {
+			t.Fatalf("OrdinalOf(%d) = %d, want %d", cid, got, ord)
+		}
+		if s.CellRect(cid) != g.CellRect(cid) {
+			t.Fatalf("cell %d rect mismatch", cid)
+		}
+		c := g.CellAt(cid)
+		members := s.Members[s.MemberOff[ord]:s.MemberOff[ord+1]]
+		if !equalU32(members, c.Members) {
+			t.Fatalf("cell %d members = %v, want %v", cid, members, c.Members)
+		}
+		if int(s.PsiMin[ord]) != c.PsiMin || int(s.PsiMax[ord]) != c.PsiMax {
+			t.Fatalf("cell %d psi bounds (%d,%d), want (%d,%d)",
+				cid, s.PsiMin[ord], s.PsiMax[ord], c.PsiMin, c.PsiMax)
+		}
+		var wantW float64
+		for _, m := range c.Members {
+			wantW += weights[m]
+		}
+		if s.CellWeight[ord] != wantW {
+			t.Fatalf("cell %d weight %v, want %v", cid, s.CellWeight[ord], wantW)
+		}
+		kws := vocab.Set(s.CellKw[s.KwOff[ord]:s.KwOff[ord+1]])
+		if !kws.Equal(c.Keywords) {
+			t.Fatalf("cell %d keywords %v, want %v", cid, kws, c.Keywords)
+		}
+		for j := s.KwOff[ord]; j < s.KwOff[ord+1]; j++ {
+			kw := vocab.ID(s.CellKw[j])
+			postings := s.Postings[s.PostOff[j]:s.PostOff[j+1]]
+			if !equalU32(postings, c.Inv[kw]) {
+				t.Fatalf("cell %d kw %d postings %v, want %v", cid, kw, postings, c.Inv[kw])
+			}
+		}
+	}
+
+	// The vocab-major inverted index must cover exactly the (kw, cell)
+	// pairs of the grid, sorted decreasingly by weight, ties by ordinal.
+	for kw := 0; kw < s.VocabN; kw++ {
+		lo, hi := s.InvOff[kw], s.InvOff[kw+1]
+		seen := map[int32]bool{}
+		for i := lo; i < hi; i++ {
+			ord := s.InvCell[i]
+			seen[ord] = true
+			if i > lo {
+				prev, cur := s.InvWeight[i-1], s.InvWeight[i]
+				if cur > prev || (cur == prev && s.InvCell[i-1] >= ord) {
+					t.Fatalf("kw %d entries out of order at %d", kw, i)
+				}
+			}
+			cid := grid.CellID(s.CellIDs[ord])
+			postings := g.CellAt(cid).Inv[vocab.ID(kw)]
+			var want float64
+			for _, m := range postings {
+				want += weights[m]
+			}
+			if s.InvWeight[i] != want {
+				t.Fatalf("kw %d cell %d weight %v, want %v", kw, cid, s.InvWeight[i], want)
+			}
+		}
+		for ord, cid := range cells {
+			if _, ok := g.CellAt(cid).Inv[vocab.ID(kw)]; ok != seen[int32(ord)] {
+				t.Fatalf("kw %d cell %d presence mismatch", kw, cid)
+			}
+		}
+	}
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSlabCellsNearSegment cross-checks the slab's geometric predicate
+// against the map grid's on random segments.
+func TestSlabCellsNearSegment(t *testing.T) {
+	g, s, _, _ := buildSlab(t, 2, 400, 8, false)
+	rng := rand.New(rand.NewSource(7))
+	var buf []int32
+	for trial := 0; trial < 200; trial++ {
+		seg := geo.Segment{
+			A: geo.Point{X: rng.Float64() * 110, Y: rng.Float64() * 90},
+			B: geo.Point{X: rng.Float64() * 110, Y: rng.Float64() * 90},
+		}
+		eps := rng.Float64() * 10
+		want := g.CellsNearSegment(seg, eps)
+		buf = s.CellsNearSegmentInto(seg, eps, buf[:0])
+		if len(buf) != len(want) {
+			t.Fatalf("trial %d: %d cells, want %d", trial, len(buf), len(want))
+		}
+		for i, ord := range buf {
+			if grid.CellID(s.CellIDs[ord]) != want[i] {
+				t.Fatalf("trial %d: cell %d = %d, want %d", trial, i, s.CellIDs[ord], want[i])
+			}
+		}
+	}
+}
+
+// TestFromSlabRoundTrip rebuilds a map grid from the slab and compares it
+// with the original.
+func TestFromSlabRoundTrip(t *testing.T) {
+	g, s, _, _ := buildSlab(t, 3, 300, 10, false)
+	g2 := grid.FromSlab(s)
+	if g2.Len() != g.Len() || g2.NumCells() != g.NumCells() {
+		t.Fatalf("round-trip sizes (%d objects, %d cells), want (%d, %d)",
+			g2.Len(), g2.NumCells(), g.Len(), g.NumCells())
+	}
+	if g2.Bounds() != g.Bounds() || g2.CellSize() != g.CellSize() {
+		t.Fatalf("round-trip geometry mismatch")
+	}
+	for _, cid := range g.NonEmptyCells() {
+		c, c2 := g.CellAt(cid), g2.CellAt(cid)
+		if c2 == nil {
+			t.Fatalf("cell %d missing after round trip", cid)
+		}
+		if !equalU32(c.Members, c2.Members) || !c.Keywords.Equal(c2.Keywords) ||
+			c.PsiMin != c2.PsiMin || c.PsiMax != c2.PsiMax || len(c.Inv) != len(c2.Inv) {
+			t.Fatalf("cell %d differs after round trip", cid)
+		}
+		for kw, postings := range c.Inv {
+			if !equalU32(postings, c2.Inv[kw]) {
+				t.Fatalf("cell %d kw %d postings differ", cid, kw)
+			}
+		}
+	}
+}
+
+// TestSlabCodecRoundTrip encodes, decodes and re-encodes a slab; both
+// encodings must be byte-identical and sized as promised.
+func TestSlabCodecRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		_, s, _, _ := buildSlab(t, 4, 350, 9, weighted)
+		enc := s.AppendBinary(nil)
+		if len(enc) != s.EncodedSize() {
+			t.Fatalf("encoded %d bytes, EncodedSize says %d", len(enc), s.EncodedSize())
+		}
+		s2, err := grid.DecodeSlab(enc)
+		if err != nil {
+			t.Fatalf("DecodeSlab: %v", err)
+		}
+		enc2 := s2.AppendBinary(nil)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("re-encoding differs after decode")
+		}
+		if s2.NumObjects != s.NumObjects || s2.VocabN != s.VocabN || s2.Bounds != s.Bounds {
+			t.Fatalf("decoded header differs")
+		}
+	}
+}
+
+// TestSlabCodecEmpty covers the degenerate zero-object slab.
+func TestSlabCodecEmpty(t *testing.T) {
+	g, err := grid.Build(grid.Config{CellSize: 1, Bounds: geo.Rect{MaxX: 1, MaxY: 1}}, nil, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s, err := grid.NewSlab(g, nil, nil)
+	if err != nil {
+		t.Fatalf("NewSlab: %v", err)
+	}
+	enc := s.AppendBinary(nil)
+	if _, err := grid.DecodeSlab(enc); err != nil {
+		t.Fatalf("DecodeSlab(empty): %v", err)
+	}
+}
+
+// TestSlabDecodeCorrupt flips, truncates and oversizes encodings; every
+// mutation must yield ErrSlabMalformed, never a panic, and accepted
+// decodes must re-encode to the mutated input (meaning the flip landed in
+// a don't-care padding byte or produced an equally valid slab).
+func TestSlabDecodeCorrupt(t *testing.T) {
+	_, s, _, _ := buildSlab(t, 5, 250, 7, true)
+	enc := s.AppendBinary(nil)
+
+	for cut := 0; cut < len(enc); cut += 13 {
+		if _, err := grid.DecodeSlab(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", cut)
+		} else if !errors.Is(err, grid.ErrSlabMalformed) {
+			t.Fatalf("truncation to %d: error %v not ErrSlabMalformed", cut, err)
+		}
+	}
+	if _, err := grid.DecodeSlab(append(append([]byte{}, enc...), 0)); err == nil {
+		t.Fatalf("trailing garbage decoded successfully")
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		mut := append([]byte{}, enc...)
+		i := rng.Intn(len(mut))
+		mut[i] ^= 1 << rng.Intn(8)
+		s2, err := grid.DecodeSlab(mut)
+		if err != nil {
+			if !errors.Is(err, grid.ErrSlabMalformed) {
+				t.Fatalf("trial %d: error %v not ErrSlabMalformed", trial, err)
+			}
+			continue
+		}
+		if !bytes.Equal(s2.AppendBinary(nil), mut) {
+			t.Fatalf("trial %d: accepted decode does not round-trip", trial)
+		}
+	}
+}
+
+// TestSlabBuildDeterministicAcrossWorkers is the golden-hash guard for the
+// sharded parallel grid build: slabs built from grids ingested with any
+// worker count must be byte-identical.
+func TestSlabBuildDeterministicAcrossWorkers(t *testing.T) {
+	n := grid.ParallelBuildThreshold + 1500
+	for _, seed := range []int64{0, 1, 42} {
+		locs, keys, weights := slabWorld(seed, n, 20)
+		var golden [sha256.Size]byte
+		for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+			g, err := grid.BuildWithWorkers(grid.Config{CellSize: 3}, locs, keys, workers)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			s, err := grid.NewSlab(g, locs, weights)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			h := sha256.Sum256(s.AppendBinary(nil))
+			if workers == 1 {
+				golden = h
+			} else if h != golden {
+				t.Fatalf("seed %d: slab built with %d workers differs from sequential build", seed, workers)
+			}
+		}
+	}
+}
+
+// TestSlabValidateRejects exercises Validate's individual checks through
+// hand-broken slabs.
+func TestSlabValidateRejects(t *testing.T) {
+	fresh := func() *grid.Slab {
+		_, s, _, _ := buildSlab(t, 6, 200, 6, false)
+		return s
+	}
+	breaks := []struct {
+		name string
+		mut  func(*grid.Slab)
+	}{
+		{"dims", func(s *grid.Slab) { s.NX = 0 }},
+		{"cellsize", func(s *grid.Slab) { s.CellSize = math.Inf(1) }},
+		{"cellid-range", func(s *grid.Slab) { s.CellIDs[0] = int32(s.NX*s.NY) + 5 }},
+		{"cellid-order", func(s *grid.Slab) { s.CellIDs[1] = s.CellIDs[0] }},
+		{"member-off", func(s *grid.Slab) { s.MemberOff[1] = s.MemberOff[0] + 1<<30 }},
+		{"member-id", func(s *grid.Slab) { s.Members[0] = uint32(s.NumObjects) }},
+		{"posting-id", func(s *grid.Slab) { s.Postings[0] = uint32(s.NumObjects) }},
+		{"kw-range", func(s *grid.Slab) { s.CellKw[0] = uint32(s.VocabN) }},
+		{"inv-ordinal", func(s *grid.Slab) { s.InvCell[0] = int32(s.NumCells()) }},
+		{"inv-weight-len", func(s *grid.Slab) { s.InvWeight = s.InvWeight[:len(s.InvWeight)-1] }},
+		{"obj-len", func(s *grid.Slab) { s.ObjX = s.ObjX[:len(s.ObjX)-1] }},
+	}
+	for _, b := range breaks {
+		s := fresh()
+		b.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted broken slab", b.name)
+		}
+	}
+}

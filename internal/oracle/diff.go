@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/network"
 	"repro/internal/poi"
+	"repro/internal/snapshot"
 )
 
 // Divergence records one disagreement between an implementation and the
@@ -150,12 +151,14 @@ func EqualRanked(got, want []core.StreetResult, relTol float64) string {
 // the brute-force oracle answer is compared against the exact baseline
 // BL, Algorithm 1 under both access strategies, Algorithm 1 over a shared
 // MassCache (two passes, so both the miss and hit paths are exercised),
-// an index grown incrementally with AddPOI, and the parallel batch
-// engine — each under every swept index cell size. The world build error,
+// the compact slab layout (directly and after a snapshot
+// serialize/reload round trip), an index grown incrementally with
+// AddPOI, and the parallel batch engine — each under every swept index
+// cell size. The world build error,
 // if any, is returned as-is; implementations disagreeing with the oracle
 // are returned as divergences.
 func DiffWorld(w World, queries []core.Query, opt Options) ([]Divergence, error) {
-	net, pois, _, _, err := w.Build()
+	net, pois, photos, _, err := w.Build()
 	if err != nil {
 		return nil, err
 	}
@@ -207,6 +210,45 @@ func DiffWorld(w World, queries []core.Query, opt Options) ([]Divergence, error)
 				report("soi/round-robin", q, "error: "+err.Error())
 			} else if d := Equal(res, want[i]); d != "" {
 				report("soi/round-robin", q, d)
+			}
+		}
+
+		// The compact slab layout must be indistinguishable from the map
+		// layout, both evaluated directly and after a serialize/reload
+		// round trip through the snapshot container (the metamorphic
+		// property: persistence is lossless down to the last float bit).
+		six, err := core.NewSlabIndex(net, pois, core.IndexConfig{CellSize: cell})
+		if err != nil {
+			return nil, fmt.Errorf("oracle: building slab index (cell %g): %w", cell, err)
+		}
+		for i, q := range queries {
+			if res, _, err := six.SOI(q); err != nil {
+				report("soi/slab", q, "error: "+err.Error())
+			} else if d := Equal(res, want[i]); d != "" {
+				report("soi/slab", q, d)
+			}
+		}
+		blob, err := snapshot.Encode(&snapshot.Snapshot{Net: net, POIs: pois, Photos: photos, Slab: six.Slab()})
+		if err != nil {
+			return nil, fmt.Errorf("oracle: encoding snapshot (cell %g): %w", cell, err)
+		}
+		snap, err := snapshot.Decode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: decoding snapshot (cell %g): %w", cell, err)
+		}
+		reloaded, err := core.NewIndexFromSlab(snap.Net, snap.POIs, snap.Slab)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: rebuilding index from snapshot (cell %g): %w", cell, err)
+		}
+		for i, q := range queries {
+			if res, _, err := reloaded.SOI(q); err != nil {
+				report("snapshot/reload", q, "error: "+err.Error())
+			} else if d := EqualRanked(res, want[i], 0); d != "" {
+				// relTol 0 makes EqualRanked exact: reloading may not move
+				// a single interest bit or swap any strictly ordered pair.
+				report("snapshot/reload", q, d)
+			} else if d := Equal(res, want[i]); d != "" {
+				report("snapshot/reload", q, d)
 			}
 		}
 

@@ -1,0 +1,85 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile encodes the snapshot and writes it atomically: the bytes land
+// in a temporary file in the target directory which is fsynced and then
+// renamed over path, so readers never observe a half-written snapshot.
+func WriteFile(path string, s *Snapshot) error {
+	data, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: writing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// Mapping owns the backing memory of an opened snapshot. The Snapshot's
+// slab aliases this memory, so Close must not be called while the
+// snapshot (or any index built over its slab) is still in use.
+type Mapping struct {
+	data    []byte
+	mmapped bool
+}
+
+// Data returns the raw snapshot bytes.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Mmapped reports whether the bytes are a file mapping (true) or a heap
+// copy read with os.ReadFile (false, the non-Unix fallback).
+func (m *Mapping) Mmapped() bool { return m.mmapped }
+
+// Close releases the mapping. It is safe to call on a nil Mapping and to
+// call twice.
+func (m *Mapping) Close() error {
+	if m == nil || m.data == nil {
+		return nil
+	}
+	data, mmapped := m.data, m.mmapped
+	m.data = nil
+	if !mmapped {
+		return nil
+	}
+	return munmap(data)
+}
+
+// Open memory-maps the snapshot file (falling back to a plain read where
+// mmap is unavailable), validates every section checksum and returns the
+// decoded snapshot together with the mapping that backs it. The caller
+// must keep the mapping open for as long as the snapshot's slab — or any
+// index built from it — is in use, then Close it.
+func Open(path string) (*Snapshot, *Mapping, error) {
+	m, err := openMapping(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	s, err := Decode(m.data)
+	if err != nil {
+		m.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, m, nil
+}

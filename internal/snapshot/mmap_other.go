@@ -1,0 +1,17 @@
+//go:build !unix
+
+package snapshot
+
+import "os"
+
+// openMapping reads the whole file into the heap on platforms without
+// syscall.Mmap support; the Mapping contract is unchanged.
+func openMapping(path string) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data}, nil
+}
+
+func munmap([]byte) error { return nil }

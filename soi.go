@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -172,6 +173,10 @@ type Engine struct {
 	exec   *engine.Executor
 	rec    *stats.Recorder
 
+	// mapping backs a snapshot-loaded engine (the index's slab aliases
+	// the mapped file); nil for engines built from in-memory data.
+	mapping io.Closer
+
 	graphOnce sync.Once
 	graph     *route.Graph
 
@@ -247,10 +252,19 @@ func newEngine(net *network.Network, pois *poi.Corpus, photos *photo.Corpus, dic
 	if cell == 0 {
 		cell = DefaultCellSize
 	}
-	ix, err := core.NewIndex(net, pois, core.IndexConfig{CellSize: cell})
+	// Compact attaches the flattened slab layout alongside the map
+	// structures: the default cost-aware strategy evaluates on it with
+	// zero steady-state allocations and bit-identical answers.
+	ix, err := core.NewIndex(net, pois, core.IndexConfig{CellSize: cell, Compact: true})
 	if err != nil {
 		return nil, fmt.Errorf("soi: building index: %w", err)
 	}
+	return newEngineWithIndex(net, pois, photos, dict, ix, cfg), nil
+}
+
+// newEngineWithIndex assembles the serving stack around an already-built
+// index (fresh build or snapshot load).
+func newEngineWithIndex(net *network.Network, pois *poi.Corpus, photos *photo.Corpus, dict *vocab.Dictionary, ix *core.Index, cfg Config) *Engine {
 	rec := stats.NewRecorder()
 	exec := engine.New(ix, engine.Config{
 		Workers:      cfg.Workers,
@@ -260,7 +274,7 @@ func newEngine(net *network.Network, pois *poi.Corpus, photos *photo.Corpus, dic
 		QueryTimeout: cfg.QueryTimeout,
 		Recorder:     rec,
 	})
-	return &Engine{net: net, pois: pois, photos: photos, dict: dict, index: ix, exec: exec, rec: rec}, nil
+	return &Engine{net: net, pois: pois, photos: photos, dict: dict, index: ix, exec: exec, rec: rec}
 }
 
 // Warm precomputes the ε-dependent index structures so that subsequent
