@@ -19,6 +19,13 @@
 // The -stats text output is deterministic in layout (sorted keys, fixed
 // float formatting), and -statsout writes the same snapshot as JSON for
 // trend tracking.
+//
+// Benchmark the sharded scatter-gather coordinator against the single
+// slab index (bit-identity verified before timing; see internal/shard),
+// optionally with a multi-tenant interleaved workload:
+//
+//	soibench -json BENCH_2.json -shards 4 -queries 150
+//	soibench -json BENCH_2.json -shards 4 -tenants 3 -scale 0.1
 package main
 
 import (
@@ -55,12 +62,37 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget for a -parallel/-stats run; a run cut short exits non-zero")
 		deadline = flag.Duration("deadline", 0, "per-query evaluation deadline for -parallel/-stats runs (0 = none)")
 		jsonOut  = flag.String("json", "", "run the slab-vs-map layout benchmark and write a schema-validated BENCH artifact to this file, then exit")
+		shards   = flag.Int("shards", 0, "with -json: benchmark the sharded scatter-gather coordinator at this shard count (≥ 2) against the single slab index")
+		tenantsN = flag.Int("tenants", 1, "with -shards: interleave this many per-tenant seeded workloads round-robin (multi-tenant arrival order)")
 	)
 	flag.Parse()
+
+	if *shards != 0 || *tenantsN != 1 {
+		switch {
+		case *shards < 0:
+			log.Fatalf("-shards must be non-negative, got %d", *shards)
+		case *shards == 1:
+			log.Fatalf("-shards needs at least 2 shards to compare against the single index, got 1")
+		case *tenantsN < 1:
+			log.Fatalf("-tenants needs at least one tenant workload, got %d", *tenantsN)
+		case *shards == 0 && *tenantsN > 1:
+			log.Fatalf("-tenants %d needs -shards: per-tenant workloads only exist for the sharded benchmark", *tenantsN)
+		case *jsonOut == "":
+			log.Fatalf("-shards requires -json OUT: the sharded benchmark only emits the BENCH artifact")
+		case *parallel != 0 || *withStat || *statsOut != "":
+			log.Fatalf("-shards is mutually exclusive with -parallel and -stats")
+		}
+	}
 
 	if *jsonOut != "" {
 		if *queries <= 0 {
 			log.Fatalf("-json needs a positive -queries workload size, got %d", *queries)
+		}
+		if *shards >= 2 {
+			if err := runShardBench(*cities, *scale, *queries, *seed, *shards, *tenantsN, *jsonOut); err != nil {
+				log.Fatal(err)
+			}
+			return
 		}
 		if err := runSlabBench(*cities, *scale, *queries, *seed, *jsonOut); err != nil {
 			log.Fatal(err)

@@ -85,8 +85,8 @@ func runSlabBench(cities string, scale float64, queries int, seed int64, outPath
 			Streets:  st.NumStreets,
 			Segments: st.NumSegments,
 			POIs:     c.Dataset.POIs.Len(),
-			Map:      mapMetrics,
-			Slab:     slabMetrics,
+			Map:      &mapMetrics,
+			Slab:     &slabMetrics,
 		}
 		if slabMetrics.NsPerQuery > 0 {
 			w.Speedup = mapMetrics.NsPerQuery / slabMetrics.NsPerQuery

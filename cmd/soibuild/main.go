@@ -14,6 +14,14 @@
 // keyword dictionary and the compact slab index at the chosen -cell
 // size. Serving from it is bit-identical to building the index from the
 // same data at the same cell size.
+//
+// With -shards N the dataset is spatially partitioned instead: one .soi
+// snapshot per populated tile plus a JSON manifest at -out tying them
+// together (tile grid, global bounds, halo, id maps). The manifest is
+// what the scatter-gather coordinator loads; -halo bounds the largest
+// query ε the partition answers exactly:
+//
+//	soibuild -city berlin -shards 4 -halo 0.0012 -out berlin.shards.json
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/photo"
 	"repro/internal/poi"
+	"repro/internal/shard"
 	"repro/internal/snapshot"
 )
 
@@ -42,16 +51,40 @@ func main() {
 		seed    = flag.Int64("seed", 0, "override the profile seed for -city (0 keeps the default)")
 		dataDir = flag.String("data", "", "load a CSV dataset directory instead of generating")
 		cell    = flag.Float64("cell", soi.DefaultCellSize, "grid cell size the slab index is built at")
-		out     = flag.String("out", "world.soi", "output snapshot path")
+		out     = flag.String("out", "world.soi", "output snapshot path (manifest path with -shards)")
+		shards  = flag.Int("shards", 0, "partition into N spatial tiles and write per-shard snapshots + manifest")
+		halo    = flag.Float64("halo", 0.0012, "POI replication radius for -shards (largest exact query ε)")
 	)
 	flag.Parse()
 	if *cell <= 0 {
 		log.Fatalf("-cell must be positive, got %g", *cell)
 	}
+	if *shards < 0 {
+		log.Fatalf("-shards must be non-negative, got %d", *shards)
+	}
+	if *shards > 0 && *halo <= 0 {
+		log.Fatalf("-halo must be positive with -shards, got %g", *halo)
+	}
 
 	net, pois, photos, err := loadDataset(*city, *scale, *seed, *dataDir)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *shards > 0 {
+		w, err := shard.Partition(net, pois, shard.Config{
+			Tiles: *shards, Halo: *halo, CellSize: *cell, Compact: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := shard.WriteSnapshots(*out, w); err != nil {
+			log.Fatal(err)
+		}
+		ns := net.Stats()
+		fmt.Printf("%s: %d streets, %d segments, %d POIs across %d shards (%d×%d tiles, halo %g), cell %g -> %s\n",
+			datasetName(*city, *dataDir), ns.NumStreets, ns.NumSegments, pois.Len(),
+			len(w.Shards), w.TilesX, w.TilesY, *halo, *cell, *out)
+		return
 	}
 	six, err := core.NewSlabIndex(net, pois, core.IndexConfig{CellSize: *cell})
 	if err != nil {

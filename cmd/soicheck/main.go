@@ -1,7 +1,8 @@
 // Command soicheck is the correctness gate of the repository: it sweeps a
 // range of seeded deterministic worlds and asserts that every production
 // evaluator — the exact baseline, Algorithm 1 under both access
-// strategies, the shared-cache path, a dynamically-grown index and the
+// strategies, the shared-cache path, a dynamically-grown index, the
+// spatially sharded scatter-gather coordinator (2/4/9 tiles) and the
 // parallel engine — agrees with the brute-force oracle across a grid of
 // (ε, k, |Ψ|, density) configurations, along with the metamorphic suite
 // and the diversification cross-check.
@@ -193,7 +194,14 @@ func reproPredicate(cfg oracle.SeedConfig, div oracle.Divergence) oracle.Predica
 		opt := oracle.Options{
 			SkipEngine:  !strings.HasPrefix(div.Impl, "engine/"),
 			SkipDynamic: !strings.HasPrefix(div.Impl, "dynamic/"),
+			SkipShards:  !strings.HasPrefix(div.Impl, "shard/"),
 			CellSizes:   cellFocus(div),
+		}
+		if strings.HasPrefix(div.Impl, "shard/") {
+			var tiles int
+			if _, err := fmt.Sscanf(div.Impl, "shard/%d", &tiles); err == nil && tiles > 0 {
+				opt.ShardCounts = []int{tiles}
+			}
 		}
 		return func(w oracle.World) bool {
 			divs, err := oracle.DiffWorld(w, focusQueries(cfg, div), opt)

@@ -5,6 +5,13 @@
 //	soiserve -city berlin -scale 0.25 -addr :8080
 //	soiserve -data ./data/berlin -addr :8080
 //	soiserve -index berlin.soi -addr :8080
+//	soiserve -tenants ./snapshots -addr :8080    # multi-tenant: /api/{city}/...
+//
+// With -tenants every *.soi snapshot in the directory becomes a city
+// routed under /api/{city}/... (same endpoint set per city, plus
+// GET /api/tenants listing them). Engines are mmap-loaded lazily, kept
+// in an LRU of -max-tenants resident engines, and each tenant gets a
+// -tenant-inflight admission quota layered on the shared load shedder.
 //
 // Endpoints:
 //
@@ -58,6 +65,10 @@ func main() {
 		queryTimeout  = flag.Duration("query-timeout", 30*time.Second, "per-query evaluation deadline (0 = none)")
 		maxBatchBytes = flag.Int64("max-batch-bytes", server.DefaultMaxBatchBytes, "max /api/streets/batch request body size (negative = unlimited)")
 		shutdownGrace = flag.Duration("shutdown-grace", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+
+		tenants        = flag.String("tenants", "", "serve every *.soi snapshot in this directory multi-tenant under /api/{city}/...")
+		maxTenants     = flag.Int("max-tenants", server.DefaultMaxOpenTenants, "max snapshot engines resident at once with -tenants (LRU eviction)")
+		tenantInflight = flag.Int("tenant-inflight", server.DefaultTenantInflight, "per-tenant admission quota with -tenants (503 over quota)")
 	)
 	flag.Parse()
 
@@ -68,6 +79,35 @@ func main() {
 		MaxQueueWait: *maxQueueWait,
 		QueryTimeout: *queryTimeout,
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *tenants != "" {
+		if *city != "" || *dataDir != "" || *indexPath != "" {
+			log.Fatal("-tenants is mutually exclusive with -city, -data and -index")
+		}
+		ts, err := server.NewTenantServer(server.TenantConfig{
+			Dir:         *tenants,
+			MaxOpen:     *maxTenants,
+			MaxInflight: *tenantInflight,
+			Engine:      cfg,
+			HTTP:        server.Config{MaxBatchBytes: *maxBatchBytes},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving tenants %v on %s (max %d resident, %d in flight per tenant)",
+			ts.Tenants(), *addr, *maxTenants, *tenantInflight)
+		if err := serve(ctx, *addr, ts, *shutdownGrace); err != nil {
+			log.Fatal(err)
+		}
+		if err := ts.Close(); err != nil {
+			log.Printf("closing tenants: %v", err)
+		}
+		log.Printf("shutdown complete")
+		return
+	}
+
 	eng, err := buildEngine(*city, *scale, *dataDir, *indexPath, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -76,8 +116,6 @@ func main() {
 	log.Printf("serving %d streets, %d POIs, %d photos on %s",
 		eng.NumStreets(), eng.NumPOIs(), eng.NumPhotos(), *addr)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	if err := serve(ctx, *addr, newHandler(eng, *maxBatchBytes), *shutdownGrace); err != nil {
 		log.Fatal(err)
 	}

@@ -16,8 +16,11 @@ import (
 )
 
 // SchemaVersion is the current artifact schema version; bump it together
-// with schema.json whenever the layout changes.
-const SchemaVersion = 1
+// with schema.json whenever the layout changes. Version 2 added the
+// sharded scatter-gather comparison (single/sharded metrics and shard
+// pruning counters); version-1 artifacts remain valid — the per-layout
+// metric blocks are all optional.
+const SchemaVersion = 2
 
 // SchemaJSON is the committed JSON Schema the artifacts conform to.
 //
@@ -36,32 +39,50 @@ type Metrics struct {
 	BytesPerQuery float64 `json:"bytes_per_query"`
 }
 
-// World is the slab-vs-map comparison over one benchmarked dataset.
+// World is the layout comparison over one benchmarked dataset. Exactly
+// one comparison pair is populated per world: Map/Slab for the
+// map-vs-slab index benchmark, Single/Sharded for the single-index
+// vs scatter-gather coordinator benchmark. The ratio fields always
+// compare baseline over contender (baseline = Map or Single).
 type World struct {
 	Name     string `json:"name"`
 	Streets  int    `json:"streets"`
 	Segments int    `json:"segments"`
 	POIs     int    `json:"pois"`
 	// Map and Slab measure the identical workload on the two index
-	// layouts.
-	Map  Metrics `json:"map"`
-	Slab Metrics `json:"slab"`
-	// Speedup is Map.NsPerQuery / Slab.NsPerQuery.
+	// layouts (map-vs-slab benchmark).
+	Map  *Metrics `json:"map,omitempty"`
+	Slab *Metrics `json:"slab,omitempty"`
+	// Single and Sharded measure the identical workload on one slab
+	// index vs the sharded scatter-gather coordinator.
+	Single  *Metrics `json:"single,omitempty"`
+	Sharded *Metrics `json:"sharded,omitempty"`
+	// Shard early-termination counters summed over the sharded
+	// workload (sharded benchmark only).
+	ShardsTotal     int `json:"shards_total,omitempty"`
+	ShardsEvaluated int `json:"shards_evaluated,omitempty"`
+	ShardsPruned    int `json:"shards_pruned,omitempty"`
+	// Speedup is baseline NsPerQuery / contender NsPerQuery.
 	Speedup float64 `json:"speedup"`
-	// AllocReduction is Map.AllocsPerQuery / Slab.AllocsPerQuery
-	// (capped at Map.AllocsPerQuery when the slab path reaches zero).
+	// AllocReduction is baseline AllocsPerQuery / contender
+	// AllocsPerQuery (capped at the baseline count when the contender
+	// reaches zero).
 	AllocReduction float64 `json:"alloc_reduction"`
 }
 
 // Report is one BENCH_*.json document.
 type Report struct {
-	SchemaVersion int    `json:"schema_version"`
-	Bench         string `json:"bench"`
-	GoVersion     string `json:"go_version"`
+	SchemaVersion int     `json:"schema_version"`
+	Bench         string  `json:"bench"`
+	GoVersion     string  `json:"go_version"`
 	Scale         float64 `json:"scale"`
 	Seed          int64   `json:"seed"`
 	Queries       int     `json:"queries"`
-	Worlds        []World `json:"worlds"`
+	// Shards and Tenants describe the sharded workload shape (0 and
+	// omitted for the map-vs-slab benchmark).
+	Shards  int     `json:"shards,omitempty"`
+	Tenants int     `json:"tenants,omitempty"`
+	Worlds  []World `json:"worlds"`
 }
 
 // Encode validates the report against the committed schema and renders

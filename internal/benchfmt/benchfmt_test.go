@@ -21,23 +21,48 @@ func sampleReport() *Report {
 		Queries:       150,
 		Worlds: []World{{
 			Name: "London", Streets: 1200, Segments: 5400, POIs: 80000,
-			Map: m, Slab: s, Speedup: 6, AllocReduction: 275,
+			Map: &m, Slab: &s, Speedup: 6, AllocReduction: 275,
+		}},
+	}
+}
+
+func sampleShardedReport() *Report {
+	single := Metrics{QPS: 9000, NsPerQuery: 110000, AllocsPerQuery: 12, BytesPerQuery: 900}
+	sharded := Metrics{QPS: 11000, NsPerQuery: 90000, AllocsPerQuery: 40, BytesPerQuery: 3100}
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Bench:         "sharded-scatter-gather",
+		GoVersion:     "go1.24.0",
+		Scale:         0.25,
+		Seed:          1,
+		Queries:       150,
+		Shards:        4,
+		Tenants:       2,
+		Worlds: []World{{
+			Name: "London", Streets: 1200, Segments: 5400, POIs: 80000,
+			Single: &single, Sharded: &sharded,
+			ShardsTotal: 600, ShardsEvaluated: 410, ShardsPruned: 190,
+			Speedup: 1.22, AllocReduction: 0.3,
 		}},
 	}
 }
 
 func TestReportRoundTrip(t *testing.T) {
-	r := sampleReport()
-	buf, err := r.Encode()
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := Decode(buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got, r) {
-		t.Fatalf("round trip differs:\n got %+v\nwant %+v", got, r)
+	for name, r := range map[string]*Report{
+		"slab-vs-map": sampleReport(),
+		"sharded":     sampleShardedReport(),
+	} {
+		buf, err := r.Encode()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Fatalf("%s round trip differs:\n got %+v\nwant %+v", name, got, r)
+		}
 	}
 }
 
@@ -71,8 +96,12 @@ func TestSchemaRejects(t *testing.T) {
 		"float queries":     mutate(func(m map[string]any) { m["queries"] = 1.5 }),
 		"zero queries":      mutate(func(m map[string]any) { m["queries"] = 0 }),
 		"worlds not array":  mutate(func(m map[string]any) { m["worlds"] = "x" }),
-		"world sans map":    mutate(func(m map[string]any) { delete(world(m), "map") }),
+		"world sans name":   mutate(func(m map[string]any) { delete(world(m), "name") }),
 		"world extra field": mutate(func(m map[string]any) { world(m)["note"] = "hi" }),
+		"negative shards":   mutate(func(m map[string]any) { m["shards"] = -1 }),
+		"sharded not metrics": mutate(func(m map[string]any) {
+			world(m)["sharded"] = "fast"
+		}),
 		"negative qps": mutate(func(m map[string]any) {
 			world(m)["slab"].(map[string]any)["qps"] = -1.0
 		}),
@@ -108,11 +137,15 @@ func TestCommittedArtifactsConform(t *testing.T) {
 			t.Errorf("%s: %v", filepath.Base(p), err)
 			continue
 		}
-		if r.SchemaVersion != SchemaVersion {
-			t.Errorf("%s: schema_version %d, want %d", filepath.Base(p), r.SchemaVersion, SchemaVersion)
+		// Older artifacts keep the schema_version they were written
+		// with; the schema is evolved backward-compatibly.
+		if r.SchemaVersion < 1 || r.SchemaVersion > SchemaVersion {
+			t.Errorf("%s: schema_version %d outside [1, %d]", filepath.Base(p), r.SchemaVersion, SchemaVersion)
 		}
-		if r.Bench != "slab-vs-map" {
-			t.Errorf("%s: bench %q, want slab-vs-map", filepath.Base(p), r.Bench)
+		switch r.Bench {
+		case "slab-vs-map", "sharded-scatter-gather":
+		default:
+			t.Errorf("%s: unknown bench %q", filepath.Base(p), r.Bench)
 		}
 		if !strings.HasPrefix(r.GoVersion, "go") {
 			t.Errorf("%s: go_version %q", filepath.Base(p), r.GoVersion)

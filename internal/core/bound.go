@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/network"
+)
+
+// deriveBounds resolves the grid extent for an index build: an explicit
+// IndexConfig.Bounds wins (spatial shards pass the global extent so the
+// cell lattice is shared), otherwise the union of the network bounds and
+// every POI location is used so no object is clamped away.
+func deriveBounds(net *network.Network, pts []geo.Point, cfg IndexConfig) (geo.Rect, error) {
+	if cfg.Bounds != (geo.Rect{}) {
+		if !cfg.Bounds.IsValid() {
+			return geo.Rect{}, fmt.Errorf("core: invalid index bounds %v", cfg.Bounds)
+		}
+		return cfg.Bounds, nil
+	}
+	bounds := net.Bounds()
+	for i, p := range pts {
+		r := geo.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+		if i == 0 && net.NumVertices() == 0 {
+			bounds = r
+		} else {
+			bounds = bounds.Union(r)
+		}
+	}
+	if !bounds.IsValid() {
+		return geo.Rect{}, fmt.Errorf("core: cannot derive bounds from empty network and corpus")
+	}
+	return bounds, nil
+}
+
+// UnseenBound returns the initial value of Algorithm 1's unseen upper
+// bound for this index: UB = top(SL1)·top(SL2) / (2ε·top(SL3) + πε²)
+// before any source-list pop. Because the source lists are untouched,
+// the value bounds the interest of EVERY segment in the index, not just
+// unseen ones: mass(ℓ) ≤ top(SL1)·|Cε(ℓ)| ≤ top(SL1)·top(SL2) and
+// len(ℓ) ≥ top(SL3). The scatter-gather coordinator (internal/shard)
+// uses it as each shard's static UB: once the merged global LBk strictly
+// dominates a shard's UB, no street of that shard can reach the top-k
+// and the shard is pruned without being evaluated.
+//
+// An exhausted list makes the bound zero: the index holds no
+// query-relevant mass (SL1 empty) or no segments at all (SL2/SL3
+// empty). The bound is deterministic — a pure function of ⟨index, Ψ, ε⟩.
+func (ix *Index) UnseenBound(q Query) (float64, error) {
+	query, err := ix.resolveQuery(q)
+	if err != nil {
+		return 0, err
+	}
+	sl1 := ix.buildSL1(query)
+	if len(sl1) == 0 {
+		return 0, nil
+	}
+	sl2 := ix.SegmentsByCellCount(q.Epsilon)
+	sl3 := ix.segsByLen
+	if len(sl2) == 0 || len(sl3) == 0 {
+		return 0, nil
+	}
+	top2 := float64(len(ix.SegmentCells(q.Epsilon)[sl2[0]]))
+	top3 := ix.net.Segment(sl3[0]).Length()
+	return Interest(sl1[0].Weight*top2, top3, q.Epsilon), nil
+}

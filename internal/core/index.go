@@ -25,6 +25,13 @@ type IndexConfig struct {
 	// only the evaluation machinery differs. Dynamic insertions (AddPOI)
 	// drop the slab and fall back to the map path.
 	Compact bool
+	// Bounds, when non-zero, fixes the grid extent instead of deriving it
+	// from the network and corpus. Spatial sharding (internal/shard) sets
+	// it to the unpartitioned world's bounds so that every shard index
+	// uses the exact global cell lattice: identical cell ids, identical
+	// Cε(ℓ) cell orders, and therefore bit-identical mass folds. Objects
+	// outside the given bounds are clamped into border cells by the grid.
+	Bounds geo.Rect
 }
 
 // weightedEntry is one entry of the weighted global inverted index: the
@@ -121,18 +128,9 @@ func NewIndex(net *network.Network, pois *poi.Corpus, cfg IndexConfig) (*Index, 
 		pts[i] = all[i].Loc
 		keys[i] = all[i].Keywords
 	}
-	// Cover both the network and every POI so no object is clamped away.
-	bounds := net.Bounds()
-	for i := range all {
-		r := geo.Rect{MinX: pts[i].X, MinY: pts[i].Y, MaxX: pts[i].X, MaxY: pts[i].Y}
-		if i == 0 && net.NumVertices() == 0 {
-			bounds = r
-		} else {
-			bounds = bounds.Union(r)
-		}
-	}
-	if !bounds.IsValid() {
-		return nil, fmt.Errorf("core: cannot derive bounds from empty network and corpus")
+	bounds, err := deriveBounds(net, pts, cfg)
+	if err != nil {
+		return nil, err
 	}
 	g, err := grid.Build(grid.Config{CellSize: cfg.CellSize, Bounds: bounds}, pts, keys)
 	if err != nil {

@@ -93,17 +93,9 @@ func buildSlab(net *network.Network, pois *poi.Corpus, cfg IndexConfig) (*grid.S
 		keys[i] = all[i].Keywords
 		weights[i] = all[i].Weight
 	}
-	bounds := net.Bounds()
-	for i := range all {
-		r := geo.Rect{MinX: pts[i].X, MinY: pts[i].Y, MaxX: pts[i].X, MaxY: pts[i].Y}
-		if i == 0 && net.NumVertices() == 0 {
-			bounds = r
-		} else {
-			bounds = bounds.Union(r)
-		}
-	}
-	if !bounds.IsValid() {
-		return nil, fmt.Errorf("core: cannot derive bounds from empty network and corpus")
+	bounds, err := deriveBounds(net, pts, cfg)
+	if err != nil {
+		return nil, err
 	}
 	g, err := grid.Build(grid.Config{CellSize: cfg.CellSize, Bounds: bounds}, pts, keys)
 	if err != nil {

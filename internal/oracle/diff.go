@@ -54,6 +54,11 @@ type Options struct {
 	SkipEngine bool
 	// SkipDynamic disables the incrementally-built index comparison.
 	SkipDynamic bool
+	// SkipShards disables the sharded scatter-gather comparison.
+	SkipShards bool
+	// ShardCounts are the tile counts swept by the sharded comparison.
+	// Empty means DefaultShardCounts (2, 4, 9).
+	ShardCounts []int
 }
 
 // DefaultCellSizes are the index cell sizes swept when Options leaves
@@ -152,9 +157,10 @@ func EqualRanked(got, want []core.StreetResult, relTol float64) string {
 // BL, Algorithm 1 under both access strategies, Algorithm 1 over a shared
 // MassCache (two passes, so both the miss and hit paths are exercised),
 // the compact slab layout (directly and after a snapshot
-// serialize/reload round trip), an index grown incrementally with
-// AddPOI, and the parallel batch engine — each under every swept index
-// cell size. The world build error,
+// serialize/reload round trip), the spatially sharded scatter-gather
+// coordinator (2/4/9 tiles, halo sized to the largest query ε), an
+// index grown incrementally with AddPOI, and the parallel batch engine
+// — each under every swept index cell size. The world build error,
 // if any, is returned as-is; implementations disagreeing with the oracle
 // are returned as divergences.
 func DiffWorld(w World, queries []core.Query, opt Options) ([]Divergence, error) {
@@ -249,6 +255,15 @@ func DiffWorld(w World, queries []core.Query, opt Options) ([]Divergence, error)
 				report("snapshot/reload", q, d)
 			} else if d := Equal(res, want[i]); d != "" {
 				report("snapshot/reload", q, d)
+			}
+		}
+
+		// The sharded scatter-gather coordinator must match the oracle —
+		// and therefore the slab path, already checked bit-exact above —
+		// at every tile count, with the halo sized to the largest ε.
+		if !opt.SkipShards {
+			if err := diffShards(net, pois, queries, want, cell, opt, report); err != nil {
+				return nil, err
 			}
 		}
 

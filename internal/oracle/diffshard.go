@@ -1,0 +1,70 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/poi"
+	"repro/internal/shard"
+)
+
+// DefaultShardCounts are the tile counts swept by the sharded
+// differential pass: a 2×1 split (one border), a 2×2 split (corner
+// crossing) and a 3×3 split (interior tile with borders on all sides).
+var DefaultShardCounts = []int{2, 4, 9}
+
+func (o Options) shardCounts() []int {
+	if len(o.ShardCounts) > 0 {
+		return o.ShardCounts
+	}
+	return DefaultShardCounts
+}
+
+// diffShards cross-checks the scatter-gather coordinator against the
+// oracle reference at every swept tile count. The halo is sized to the
+// largest query ε, so queries at ε = halo exercise maximal border
+// replication while staying exact; the coordinator must nevertheless be
+// bit-identical at every ε below that too. The comparison uses Equal —
+// ranked ids, names, best segments, Float64bits interests and masses —
+// and additionally requires the gather counters to partition the shard
+// set (every shard either evaluated or pruned, exactly once).
+func diffShards(net *network.Network, pois *poi.Corpus, queries []core.Query,
+	want [][]core.StreetResult, cell float64, opt Options,
+	report func(impl string, q core.Query, detail string)) error {
+
+	halo := 0.0
+	for _, q := range queries {
+		if q.Epsilon > halo {
+			halo = q.Epsilon
+		}
+	}
+	if halo == 0 || net.NumStreets() == 0 {
+		return nil
+	}
+	for _, tiles := range opt.shardCounts() {
+		w, err := shard.Partition(net, pois, shard.Config{Tiles: tiles, Halo: halo, CellSize: cell})
+		if err != nil {
+			return fmt.Errorf("oracle: partitioning %d tiles (cell %g): %w", tiles, cell, err)
+		}
+		coord := shard.NewCoordinator(w)
+		impl := fmt.Sprintf("shard/%d", tiles)
+		for i, q := range queries {
+			res, gs, err := coord.TopK(context.Background(), q)
+			if err != nil {
+				report(impl, q, "error: "+err.Error())
+				continue
+			}
+			if d := Equal(res, want[i]); d != "" {
+				report(impl, q, d)
+				continue
+			}
+			if gs.ShardsEvaluated+gs.ShardsPruned != gs.ShardsTotal {
+				report(impl, q, fmt.Sprintf("gather counters do not partition the shards: total=%d evaluated=%d pruned=%d",
+					gs.ShardsTotal, gs.ShardsEvaluated, gs.ShardsPruned))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	soi "repro"
+	"repro/internal/faults"
+)
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for condition")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+func stringsReader(s string) io.Reader { return strings.NewReader(s) }
+
+// writeTenantSnapshots builds a directory of small city snapshots whose
+// top street names encode the city, so responses prove routing isolation.
+func writeTenantSnapshots(t *testing.T, names ...string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range names {
+		streets := []soi.StreetInput{
+			{Name: name + " High St", Polyline: []soi.Point{{X: 0, Y: 0}, {X: 0.002, Y: 0}}},
+			{Name: name + " Side St", Polyline: []soi.Point{{X: 0.002, Y: 0}, {X: 0.002, Y: 0.002}}},
+		}
+		var pois []soi.POIInput
+		for i := 0; i < 6; i++ {
+			pois = append(pois, soi.POIInput{X: 0.0003 * float64(i), Y: 0.0001, Keywords: []string{"shop"}})
+		}
+		eng, err := soi.NewEngine(streets, pois, nil, soi.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.WriteSnapshot(filepath.Join(dir, name+".soi")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func newTestTenantServer(t *testing.T, cfg TenantConfig) *TenantServer {
+	t.Helper()
+	ts, err := NewTenantServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := ts.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return ts
+}
+
+func tget(t *testing.T, ts *TenantServer, url string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	ts.ServeHTTP(rec, req)
+	var body map[string]interface{}
+	if len(rec.Body.Bytes()) > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("invalid JSON from %s: %v\n%s", url, err, rec.Body.String())
+		}
+	}
+	return rec, body
+}
+
+// topStreetName extracts the first ranked street name from a
+// /api/{city}/streets response body.
+func topStreetName(t *testing.T, body map[string]interface{}) string {
+	t.Helper()
+	results, ok := body["streets"].([]interface{})
+	if !ok || len(results) == 0 {
+		t.Fatalf("no streets in %v", body)
+	}
+	first := results[0].(map[string]interface{})
+	return first["Name"].(string)
+}
+
+func TestTenantRoutingIsolation(t *testing.T) {
+	dir := writeTenantSnapshots(t, "berlin", "vienna")
+	ts := newTestTenantServer(t, TenantConfig{Dir: dir})
+
+	for _, city := range []string{"berlin", "vienna"} {
+		rec, body := tget(t, ts, "/api/"+city+"/streets?keywords=shop&k=1&eps=0.0005")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", city, rec.Code, rec.Body.String())
+		}
+		if got := topStreetName(t, body); got != city+" High St" {
+			t.Errorf("tenant %s answered %q — cross-tenant leak", city, got)
+		}
+	}
+
+	rec, _ := tget(t, ts, "/api/atlantis/streets?keywords=shop&k=1&eps=0.0005")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown tenant: status %d, want 404", rec.Code)
+	}
+}
+
+func TestTenantListEndpoint(t *testing.T) {
+	dir := writeTenantSnapshots(t, "berlin", "vienna", "london")
+	ts := newTestTenantServer(t, TenantConfig{Dir: dir, MaxOpen: 2})
+
+	rec, body := tget(t, ts, "/api/tenants")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	names := body["tenants"].([]interface{})
+	if len(names) != 3 {
+		t.Fatalf("tenants = %v, want 3 entries", names)
+	}
+	if body["resident"] == nil || len(body["resident"].([]interface{})) != 0 {
+		t.Errorf("resident should start empty, got %v", body["resident"])
+	}
+
+	tget(t, ts, "/api/berlin/streets?keywords=shop&k=1&eps=0.0005")
+	_, body = tget(t, ts, "/api/tenants")
+	if got := body["resident"].([]interface{}); len(got) != 1 || got[0] != "berlin" {
+		t.Errorf("resident = %v, want [berlin]", got)
+	}
+}
+
+// TestTenantLRUEviction: with MaxOpen 2, touching a third city evicts
+// the least recently used engine, and the evicted city still answers on
+// the next request (a reload, bit-identical because the snapshot is
+// immutable).
+func TestTenantLRUEviction(t *testing.T) {
+	dir := writeTenantSnapshots(t, "berlin", "vienna", "london")
+	ts := newTestTenantServer(t, TenantConfig{Dir: dir, MaxOpen: 2})
+
+	query := "/streets?keywords=shop&k=1&eps=0.0005"
+	tget(t, ts, "/api/berlin"+query)
+	tget(t, ts, "/api/vienna"+query)
+	tget(t, ts, "/api/london"+query) // must evict berlin (LRU)
+
+	_, body := tget(t, ts, "/api/tenants")
+	resident := fmt.Sprint(body["resident"])
+	if resident != "[london vienna]" {
+		t.Errorf("resident after eviction = %v, want [london vienna]", resident)
+	}
+
+	rec, body := tget(t, ts, "/api/berlin"+query)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("evicted tenant did not reload: %d", rec.Code)
+	}
+	if got := topStreetName(t, body); got != "berlin High St" {
+		t.Errorf("reloaded tenant answered %q", got)
+	}
+}
+
+// TestTenantAdmissionQuota: the per-tenant inflight cap sheds with 503 +
+// Retry-After while another tenant keeps serving — quota is per tenant,
+// not global.
+func TestTenantAdmissionQuota(t *testing.T) {
+	defer faults.Reset()
+	dir := writeTenantSnapshots(t, "berlin", "vienna")
+	ts := newTestTenantServer(t, TenantConfig{Dir: dir, MaxInflight: 1})
+
+	// Park one berlin request inside the engine evaluation so the quota
+	// slot stays held.
+	block := make(chan struct{})
+	faults.Activate("engine.evaluate", faults.Fault{Block: block, Times: 1})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec, _ := tget(t, ts, "/api/berlin/streets?keywords=shop&k=1&eps=0.0005")
+		if rec.Code != http.StatusOK {
+			t.Errorf("parked request finished %d", rec.Code)
+		}
+		close(release)
+	}()
+	// Wait until the parked request holds the quota slot.
+	waitUntil(t, func() bool { return faults.Visits("engine.evaluate") >= 1 })
+
+	rec, _ := tget(t, ts, "/api/berlin/streets?keywords=shop&k=2&eps=0.0005")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("over-quota berlin request: status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After hint")
+	}
+	// The sibling tenant is untouched by berlin's quota.
+	rec, _ = tget(t, ts, "/api/vienna/streets?keywords=shop&k=1&eps=0.0005")
+	if rec.Code != http.StatusOK {
+		t.Errorf("vienna starved by berlin quota: status %d", rec.Code)
+	}
+
+	close(block)
+	<-release
+	wg.Wait()
+	rec, _ = tget(t, ts, "/api/berlin/streets?keywords=shop&k=3&eps=0.0005")
+	if rec.Code != http.StatusOK {
+		t.Errorf("berlin did not recover after quota release: %d", rec.Code)
+	}
+}
+
+// TestTenantPanicIsolation: a panicking evaluation in one tenant maps
+// to 500 there while other tenants keep serving.
+func TestTenantPanicIsolation(t *testing.T) {
+	defer faults.Reset()
+	dir := writeTenantSnapshots(t, "berlin", "vienna")
+	ts := newTestTenantServer(t, TenantConfig{Dir: dir})
+
+	faults.Activate("engine.evaluate", faults.Fault{Panic: true, PanicValue: "tenant crash", Times: 1})
+	rec, _ := tget(t, ts, "/api/berlin/streets?keywords=shop&k=1&eps=0.0005")
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("panicking tenant: status %d, want 500", rec.Code)
+	}
+	rec, body := tget(t, ts, "/api/vienna/streets?keywords=shop&k=1&eps=0.0005")
+	if rec.Code != http.StatusOK {
+		t.Errorf("vienna down after berlin panic: status %d", rec.Code)
+	}
+	if got := topStreetName(t, body); got != "vienna High St" {
+		t.Errorf("vienna answered %q", got)
+	}
+	// And berlin itself recovers on the next request.
+	rec, _ = tget(t, ts, "/api/berlin/streets?keywords=shop&k=1&eps=0.0005")
+	if rec.Code != http.StatusOK {
+		t.Errorf("berlin did not recover after panic: %d", rec.Code)
+	}
+}
+
+// TestTenantMetricsAndBatch exercises the path rewrite for the
+// non-/api endpoints and the batch POST through the tenant router.
+func TestTenantMetricsAndBatch(t *testing.T) {
+	dir := writeTenantSnapshots(t, "berlin")
+	ts := newTestTenantServer(t, TenantConfig{Dir: dir})
+
+	req := httptest.NewRequest(http.MethodGet, "/api/berlin/metrics", nil)
+	rec := httptest.NewRecorder()
+	ts.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !json.Valid([]byte(`1`)) {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if body := rec.Body.String(); !contains(body, "soi_") {
+		t.Errorf("metrics body lacks soi_ namespace:\n%.200s", body)
+	}
+
+	payload := `{"queries":[{"keywords":["shop"],"k":1,"eps":0.0005}]}`
+	req = httptest.NewRequest(http.MethodPost, "/api/berlin/streets/batch", stringsReader(payload))
+	rec = httptest.NewRecorder()
+	ts.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Results []struct {
+			Streets []struct {
+				Name string `json:"Name"`
+			} `json:"streets"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("batch body: %v", err)
+	}
+	if len(out.Results) != 1 || len(out.Results[0].Streets) == 0 ||
+		out.Results[0].Streets[0].Name != "berlin High St" {
+		t.Errorf("batch answered %+v", out)
+	}
+}
+
+func TestNewTenantServerValidation(t *testing.T) {
+	if _, err := NewTenantServer(TenantConfig{Dir: t.TempDir()}); err == nil {
+		t.Error("empty dir accepted")
+	}
+	if _, err := NewTenantServer(TenantConfig{Dir: "/nonexistent-path-xyz"}); err == nil {
+		t.Error("missing dir accepted")
+	}
+	dir := writeTenantSnapshots(t, "berlin")
+	if _, err := NewTenantServer(TenantConfig{Dir: dir, MaxOpen: -1}); err == nil {
+		t.Error("negative MaxOpen accepted")
+	}
+	if _, err := NewTenantServer(TenantConfig{Dir: dir, MaxInflight: -1}); err == nil {
+		t.Error("negative MaxInflight accepted")
+	}
+}

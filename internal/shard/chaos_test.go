@@ -1,0 +1,209 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/faults"
+)
+
+// chaosWorld builds a small partitioned world for fault injection.
+func chaosWorld(t *testing.T, tiles int) *Coordinator {
+	t.Helper()
+	net, pois := tinyWorld(t, 9)
+	w, err := Partition(net, pois, Config{Tiles: tiles, Halo: 0.0012, CellSize: 0.0005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCoordinator(w)
+}
+
+func chaosQuery() core.Query {
+	return core.Query{Keywords: []string{"shop", "food"}, K: 5, Epsilon: 0.0005}
+}
+
+// checkNoLeaks fails if the goroutine count has not settled back to the
+// pre-test level: the coordinator must join every scatter goroutine on
+// every exit path.
+func checkNoLeaks(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosSlowShardStillExact: one shard's evaluation is delayed; the
+// answer must still arrive, bit-identical, with identical counters —
+// slowness cannot change what gets merged or pruned.
+func TestChaosSlowShardStillExact(t *testing.T) {
+	defer faults.Reset()
+	coord := chaosWorld(t, 4)
+	want, wantGS, err := coord.TopK(context.Background(), chaosQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delay a single scatter visit (the second shard to launch).
+	faults.Activate(SiteScatter, faults.Fault{Delay: 50 * time.Millisecond, After: 1, Times: 1})
+	before := runtime.NumGoroutine()
+	got, gs, err := coord.TopK(context.Background(), chaosQuery())
+	if err != nil {
+		t.Fatalf("slow shard: %v", err)
+	}
+	if d := diffResults(got, want); d != "" {
+		t.Errorf("slow shard changed the answer: %s", d)
+	}
+	if gs.ShardsTotal != wantGS.ShardsTotal || gs.ShardsEvaluated != wantGS.ShardsEvaluated || gs.ShardsPruned != wantGS.ShardsPruned {
+		t.Errorf("slow shard changed counters: %+v vs %+v", gs, wantGS)
+	}
+	checkNoLeaks(t, before)
+}
+
+// TestChaosPanickingShard: a shard evaluation panics; TopK must return
+// a typed *ShardError wrapping *engine.PanicError, join every
+// goroutine, and leave the coordinator usable for the next query.
+func TestChaosPanickingShard(t *testing.T) {
+	defer faults.Reset()
+	coord := chaosWorld(t, 4)
+	// Every shard panics, so the first gathered shard — which is never
+	// pruned while the merged set is empty — deterministically reports.
+	faults.Activate(SiteScatter, faults.Fault{Panic: true, PanicValue: "shard blew up"})
+	before := runtime.NumGoroutine()
+	_, _, err := coord.TopK(context.Background(), chaosQuery())
+	if err == nil {
+		t.Fatal("expected an error from the panicking shard")
+	}
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T is not a *ShardError: %v", err, err)
+	}
+	var pe *engine.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v does not wrap *engine.PanicError", err)
+	}
+	if pe.Value != "shard blew up" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	checkNoLeaks(t, before)
+
+	// Panic isolation: the same coordinator keeps answering once the
+	// fault is gone.
+	faults.Reset()
+	if _, _, err := coord.TopK(context.Background(), chaosQuery()); err != nil {
+		t.Fatalf("coordinator unusable after panic: %v", err)
+	}
+}
+
+// TestChaosCancelledMidGather: the caller's context is cancelled while
+// a shard is wedged at the scatter site; TopK must return
+// context.Canceled promptly and join the wedged goroutine once the
+// block clears.
+func TestChaosCancelledMidGather(t *testing.T) {
+	defer faults.Reset()
+	coord := chaosWorld(t, 4)
+	// Wedge every shard, so the gather is guaranteed to be parked on a
+	// shard when the cancellation lands.
+	block := make(chan struct{})
+	faults.Activate(SiteScatter, faults.Fault{Block: block})
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := coord.TopK(ctx, chaosQuery())
+		errc <- err
+	}()
+	// Let the scatter goroutines park, then pull the plug.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		// InjectCtx unblocks on context cancellation, so the wedged
+		// shard reports Canceled — either via the gather wait or the
+		// shard's own error, both wrapping context.Canceled.
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled gather returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("TopK did not return after cancellation")
+	}
+	close(block)
+	checkNoLeaks(t, before)
+}
+
+// TestChaosGatherSiteCancelled: cancellation observed at the gather
+// site itself (not inside a shard) also exits with the context error
+// and no leaks.
+func TestChaosGatherSiteCancelled(t *testing.T) {
+	defer faults.Reset()
+	coord := chaosWorld(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	faults.Activate(SiteGather, faults.Fault{Delay: time.Millisecond})
+	before := runtime.NumGoroutine()
+	_, _, err := coord.TopK(ctx, chaosQuery())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	checkNoLeaks(t, before)
+}
+
+// TestChaosSlowShardGetsPruned: the benchmark-style property that makes
+// early termination worth having — a pruned shard never blocks the
+// gather. The world is partitioned so at least one shard is pruned for
+// the golden query (seed 42, 4 tiles → 2 pruned); that shard's
+// evaluation is wedged forever, yet TopK completes because the gather
+// loop cancels it without waiting.
+func TestChaosSlowShardGetsPruned(t *testing.T) {
+	defer faults.Reset()
+	net, pois := tinyWorld(t, 42)
+	w, err := Partition(net, pois, Config{Tiles: 4, Halo: 0.0012, CellSize: 0.0005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(w)
+	q := goldenQuery()
+
+	// Order of scatter launches == gather order (UB desc, id asc); the
+	// golden counters say shards at positions 2 and 3 are pruned. Wedge
+	// the last-launched shard: it must never be waited on.
+	block := make(chan struct{})
+	defer close(block)
+	faults.Activate(SiteScatter, faults.Fault{Block: block, After: 3, Times: 1})
+	before := runtime.NumGoroutine()
+	done := make(chan struct{})
+	var got []core.StreetResult
+	var gs GatherStats
+	go func() {
+		defer close(done)
+		got, gs, err = coord.TopK(context.Background(), q)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("TopK blocked on a pruned shard")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.ShardsPruned != 2 {
+		t.Errorf("pruned = %d, want 2", gs.ShardsPruned)
+	}
+	if len(got) != q.K {
+		t.Errorf("got %d results, want %d", len(got), q.K)
+	}
+	checkNoLeaks(t, before)
+}

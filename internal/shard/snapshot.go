@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/network"
+	"repro/internal/photo"
+	"repro/internal/snapshot"
+)
+
+// ManifestVersion is the on-disk manifest format version.
+const ManifestVersion = 1
+
+// ManifestShard describes one shard's snapshot file and its local→global
+// id maps within a partitioned world.
+type ManifestShard struct {
+	// File is the shard snapshot's path, relative to the manifest.
+	File  string `json:"file"`
+	TileX int    `json:"tile_x"`
+	TileY int    `json:"tile_y"`
+	// Streets[local] / Segments[local] are the global ids, strictly
+	// ascending (the property that preserves tie-breaks).
+	Streets  []network.StreetID  `json:"streets"`
+	Segments []network.SegmentID `json:"segments"`
+}
+
+// Manifest is the JSON sidecar tying a set of per-shard .soi snapshots
+// back into one queryable world. The global bounds and halo are part of
+// the format: the bounds pin every shard index to the same cell
+// lattice, and the halo is the largest ε the partition answers exactly.
+type Manifest struct {
+	Version  int             `json:"version"`
+	TilesX   int             `json:"tiles_x"`
+	TilesY   int             `json:"tiles_y"`
+	Halo     float64         `json:"halo"`
+	CellSize float64         `json:"cell_size"`
+	Bounds   [4]float64      `json:"bounds"` // min_x, min_y, max_x, max_y
+	Shards   []ManifestShard `json:"shards"`
+}
+
+// WriteSnapshots persists a partitioned world: one snapshot file per
+// shard next to the manifest at manifestPath. The world must have been
+// partitioned with Compact set (each shard needs a slab). Shard files
+// are named <base>.shard<N>.soi where <base> strips manifestPath's
+// extension.
+func WriteSnapshots(manifestPath string, w *World) error {
+	base := strings.TrimSuffix(filepath.Base(manifestPath), filepath.Ext(manifestPath))
+	dir := filepath.Dir(manifestPath)
+	m := Manifest{
+		Version:  ManifestVersion,
+		TilesX:   w.TilesX,
+		TilesY:   w.TilesY,
+		Halo:     w.Halo,
+		CellSize: w.CellSize,
+		Bounds:   [4]float64{w.Bounds.MinX, w.Bounds.MinY, w.Bounds.MaxX, w.Bounds.MaxY},
+	}
+	for _, s := range w.Shards {
+		six := s.Index.SlabIndex()
+		if six == nil {
+			return fmt.Errorf("shard: shard %d has no slab (partition with Compact to write snapshots)", s.ID)
+		}
+		file := fmt.Sprintf("%s.shard%d.soi", base, s.ID)
+		snap := &snapshot.Snapshot{
+			Net:  s.Net,
+			POIs: s.POIs,
+			// Shards serve k-SOI only; an empty photo corpus sharing the
+			// dictionary satisfies the container's completeness contract.
+			Photos: photo.NewBuilder(s.POIs.Dict()).Build(),
+			Slab:   six.Slab(),
+		}
+		if err := snapshot.WriteFile(filepath.Join(dir, file), snap); err != nil {
+			return fmt.Errorf("shard: writing shard %d: %w", s.ID, err)
+		}
+		m.Shards = append(m.Shards, ManifestShard{
+			File:     file,
+			TileX:    s.TileX,
+			TileY:    s.TileY,
+			Streets:  s.Streets,
+			Segments: s.Segments,
+		})
+	}
+	blob, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(manifestPath, append(blob, '\n'), 0o644)
+}
+
+// LoadWorld mmaps every shard snapshot named by a manifest and rebuilds
+// a queryable World. Close the world when no queries are in flight to
+// release the mappings.
+func LoadWorld(manifestPath string) (*World, error) {
+	blob, err := os.ReadFile(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("shard: parsing manifest %s: %w", manifestPath, err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("shard: manifest version %d, want %d", m.Version, ManifestVersion)
+	}
+	if len(m.Shards) == 0 {
+		return nil, fmt.Errorf("shard: manifest %s lists no shards", manifestPath)
+	}
+	dir := filepath.Dir(manifestPath)
+	w := &World{
+		Bounds:   geo.Rect{MinX: m.Bounds[0], MinY: m.Bounds[1], MaxX: m.Bounds[2], MaxY: m.Bounds[3]},
+		TilesX:   m.TilesX,
+		TilesY:   m.TilesY,
+		Halo:     m.Halo,
+		CellSize: m.CellSize,
+	}
+	for i, ms := range m.Shards {
+		snap, mapping, err := snapshot.Open(filepath.Join(dir, ms.File))
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("shard: opening shard %d (%s): %w", i, ms.File, err)
+		}
+		w.mappings = append(w.mappings, mapping)
+		ix, err := core.NewIndexFromSlab(snap.Net, snap.POIs, snap.Slab)
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("shard: rebuilding shard %d index: %w", i, err)
+		}
+		if snap.Net.NumStreets() != len(ms.Streets) || snap.Net.NumSegments() != len(ms.Segments) {
+			w.Close()
+			return nil, fmt.Errorf("shard: shard %d manifest maps %d streets/%d segments, snapshot has %d/%d",
+				i, len(ms.Streets), len(ms.Segments), snap.Net.NumStreets(), snap.Net.NumSegments())
+		}
+		w.Shards = append(w.Shards, &Shard{
+			ID:       i,
+			TileX:    ms.TileX,
+			TileY:    ms.TileY,
+			Net:      snap.Net,
+			POIs:     snap.POIs,
+			Index:    ix,
+			Streets:  ms.Streets,
+			Segments: ms.Segments,
+		})
+	}
+	return w, nil
+}
