@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	soi "repro"
+	"repro/internal/benchfmt"
+	"repro/internal/experiments"
+	"repro/internal/poi"
+)
+
+// runIngestBench measures the read workload on a live engine twice per
+// city — once quiescent (no writer, the Single baseline) and once while
+// a writer streams POIs through the epoch-based ingest path, publishing
+// a new epoch per batch (the Live pass) — and writes both, plus the
+// write-side ingest counters, as a schema-validated BENCH artifact. The
+// speedup ratio is quiescent over live read latency: how much the read
+// path pays for concurrent epoch churn.
+func runIngestBench(cities string, scale float64, queries int, seed int64, writes, batch int, outPath string) error {
+	out := os.Stdout
+	start := time.Now()
+	fmt.Fprintf(out, "Loading cities (scale %g)...\n", scale)
+	citiesList, err := loadSelected(cities, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Loaded %d cities in %v.\n", len(citiesList), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(out, "Workload: %d queries, %d writes in batches of %d, seed %d.\n\n", queries, writes, batch, seed)
+
+	report := benchfmt.Report{
+		SchemaVersion: benchfmt.SchemaVersion,
+		Bench:         "ingest-mixed",
+		GoVersion:     runtime.Version(),
+		Scale:         scale,
+		Seed:          seed,
+		Queries:       queries,
+	}
+	workload := experiments.ParallelWorkloadSeeded(queries, seed)
+	qs := make([]soi.Query, len(workload))
+	for i, q := range workload {
+		qs[i] = soi.Query{Keywords: q.Keywords, K: q.K, Epsilon: q.Epsilon}
+	}
+	for _, c := range citiesList {
+		eng, err := soi.NewLiveEngineFromCorpora(c.Dataset.Network, c.Dataset.POIs, c.Dataset.Photos, soi.LiveConfig{
+			Config: soi.Config{CacheSize: -1}, // caching would hide the evaluation cost
+		})
+		if err != nil {
+			return fmt.Errorf("building live engine for %s: %w", c.Name(), err)
+		}
+		eng.Warm(experiments.Epsilon)
+
+		readPass := func() error {
+			for _, q := range qs {
+				if _, err := eng.TopStreets(q); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		quiescent, err := measure(queries, readPass)
+		if err != nil {
+			eng.Close()
+			return fmt.Errorf("quiescent reads on %s: %w", c.Name(), err)
+		}
+
+		// Mixed pass: the writer streams deltas sampled from the city's
+		// own corpus (deterministic, always in bounds) and publishes an
+		// epoch per batch, while the timed read pass runs.
+		writerErr := make(chan error, 1)
+		mixedStart := time.Now()
+		go func() {
+			corpus := c.Dataset.POIs
+			dict := corpus.Dict()
+			for done := 0; done < writes; {
+				n := batch
+				if writes-done < n {
+					n = writes - done
+				}
+				in := make([]soi.POIInput, n)
+				for i := 0; i < n; i++ {
+					p := corpus.Get(poi.ID((done + i) % corpus.Len()))
+					in[i] = soi.POIInput{X: p.Loc.X, Y: p.Loc.Y, Keywords: dict.Names(p.Keywords), Weight: p.Weight}
+				}
+				if _, err := eng.AddPOIs(in); err != nil {
+					writerErr <- err
+					return
+				}
+				if _, _, err := eng.Publish(); err != nil {
+					writerErr <- err
+					return
+				}
+				done += n
+			}
+			writerErr <- nil
+		}()
+		live, err := measure(queries, readPass)
+		if werr := <-writerErr; err == nil {
+			err = werr
+		}
+		if err != nil {
+			eng.Close()
+			return fmt.Errorf("mixed pass on %s: %w", c.Name(), err)
+		}
+		mixedElapsed := time.Since(mixedStart)
+
+		ist := eng.StatsSnapshot().Ingest
+		ib := benchfmt.IngestBench{
+			Writes:      int(ist.DeltasAppended),
+			Publishes:   int(ist.Publishes),
+			Compactions: int(ist.Compactions),
+			FinalEpoch:  int(ist.EpochSeq),
+		}
+		if mixedElapsed > 0 {
+			ib.WriteQPS = float64(ib.Writes) / mixedElapsed.Seconds()
+		}
+		if ist.Publishes > 0 {
+			ib.PublishMsMean = float64(ist.PublishNanos) / float64(ist.Publishes) / 1e6
+		}
+		st := c.Dataset.Network.Stats()
+		w := benchfmt.World{
+			Name:     c.Name(),
+			Streets:  st.NumStreets,
+			Segments: st.NumSegments,
+			POIs:     c.Dataset.POIs.Len(),
+			Single:   &quiescent,
+			Live:     &live,
+			Ingest:   &ib,
+		}
+		if live.NsPerQuery > 0 {
+			w.Speedup = quiescent.NsPerQuery / live.NsPerQuery
+		}
+		if live.AllocsPerQuery > 0 {
+			w.AllocReduction = quiescent.AllocsPerQuery / live.AllocsPerQuery
+		} else {
+			w.AllocReduction = quiescent.AllocsPerQuery
+		}
+		report.Worlds = append(report.Worlds, w)
+		fmt.Fprintf(out, "%-12s quiescent %9.0f ns/q | live %9.0f ns/q (%.2fx) | %d writes, %d publishes, %.1f ms/publish, epoch %d\n",
+			c.Name(), quiescent.NsPerQuery, live.NsPerQuery, w.Speedup,
+			ib.Writes, ib.Publishes, ib.PublishMsMean, ib.FinalEpoch)
+		if err := eng.Close(); err != nil {
+			return fmt.Errorf("closing live engine for %s: %w", c.Name(), err)
+		}
+	}
+
+	if err := report.WriteFile(outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nWrote %s (schema v%d). Done in %v.\n", outPath, benchfmt.SchemaVersion, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+// TestIngestFlagValidation: invalid -ingest combinations must exit
+// non-zero with a diagnosis before any dataset is generated.
+func TestIngestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"ingest without json", []string{"-ingest"}, "requires -json"},
+		{"ingest with shards", []string{"-ingest", "-json", "x.json", "-shards", "4"}, "mutually exclusive"},
+		{"ingest with stats", []string{"-ingest", "-json", "x.json", "-stats"}, "mutually exclusive"},
+		{"zero writes", []string{"-ingest", "-json", "x.json", "-writes", "0"}, "must be positive"},
+		{"zero batch", []string{"-ingest", "-json", "x.json", "-write-batch", "0"}, "must be positive"},
+	}
+	for _, c := range cases {
+		_, stderr, exit := runCLI(t, c.args...)
+		if exit == 0 {
+			t.Errorf("%s: accepted (args %v)", c.name, c.args)
+			continue
+		}
+		if !strings.Contains(stderr, c.want) {
+			t.Errorf("%s: stderr %q missing %q", c.name, stderr, c.want)
+		}
+	}
+}
+
+// TestIngestBenchArtifact runs the mixed read/write benchmark end to end
+// on a tiny workload and decodes the artifact through the schema
+// validator: live metrics and the ingest block present, write accounting
+// consistent with the requested workload.
+func TestIngestBenchArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a city and runs the mixed workload")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	stdout, stderr, exit := runCLI(t,
+		"-json", out, "-ingest", "-queries", "6", "-scale", "0.02",
+		"-cities", "vienna", "-writes", "40", "-write-batch", "20")
+	if exit != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", exit, stdout, stderr)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := benchfmt.Decode(data)
+	if err != nil {
+		t.Fatalf("artifact fails its own schema: %v", err)
+	}
+	if r.Bench != "ingest-mixed" || len(r.Worlds) != 1 {
+		t.Fatalf("unexpected artifact: %+v", r)
+	}
+	w := r.Worlds[0]
+	if w.Single == nil || w.Live == nil || w.Ingest == nil {
+		t.Fatal("missing single/live/ingest blocks")
+	}
+	if w.Map != nil || w.Slab != nil || w.Sharded != nil {
+		t.Error("ingest artifact carries unrelated metric blocks")
+	}
+	ib := w.Ingest
+	if ib.Writes != 40 || ib.Publishes < 2 || ib.FinalEpoch < 3 {
+		t.Errorf("write accounting: %+v, want 40 writes over ≥2 publishes reaching epoch ≥3", ib)
+	}
+}

@@ -26,6 +26,12 @@
 //
 //	soibench -json BENCH_2.json -shards 4 -queries 150
 //	soibench -json BENCH_2.json -shards 4 -tenants 3 -scale 0.1
+//
+// Benchmark the epoch-based ingest path: the same read workload
+// quiescent and then live, while a writer streams POIs and publishes an
+// epoch per batch:
+//
+//	soibench -json BENCH_ingest.json -ingest -scale 0.1 -writes 2000 -write-batch 100
 package main
 
 import (
@@ -64,6 +70,9 @@ func main() {
 		jsonOut  = flag.String("json", "", "run the slab-vs-map layout benchmark and write a schema-validated BENCH artifact to this file, then exit")
 		shards   = flag.Int("shards", 0, "with -json: benchmark the sharded scatter-gather coordinator at this shard count (≥ 2) against the single slab index")
 		tenantsN = flag.Int("tenants", 1, "with -shards: interleave this many per-tenant seeded workloads round-robin (multi-tenant arrival order)")
+		ingestB  = flag.Bool("ingest", false, "with -json: run the mixed read/write ingest benchmark (quiescent vs live reads while a writer publishes epochs)")
+		writesN  = flag.Int("writes", 2000, "with -ingest: POIs the writer streams during the mixed pass")
+		writeBat = flag.Int("write-batch", 100, "with -ingest: POIs appended per publish")
 	)
 	flag.Parse()
 
@@ -84,9 +93,28 @@ func main() {
 		}
 	}
 
+	if *ingestB {
+		switch {
+		case *jsonOut == "":
+			log.Fatalf("-ingest requires -json OUT: the ingest benchmark only emits the BENCH artifact")
+		case *shards != 0 || *tenantsN != 1:
+			log.Fatalf("-ingest is mutually exclusive with -shards and -tenants")
+		case *parallel != 0 || *withStat || *statsOut != "":
+			log.Fatalf("-ingest is mutually exclusive with -parallel and -stats")
+		case *writesN <= 0 || *writeBat <= 0:
+			log.Fatalf("-writes and -write-batch must be positive, got %d / %d", *writesN, *writeBat)
+		}
+	}
+
 	if *jsonOut != "" {
 		if *queries <= 0 {
 			log.Fatalf("-json needs a positive -queries workload size, got %d", *queries)
+		}
+		if *ingestB {
+			if err := runIngestBench(*cities, *scale, *queries, *seed, *writesN, *writeBat, *jsonOut); err != nil {
+				log.Fatal(err)
+			}
+			return
 		}
 		if *shards >= 2 {
 			if err := runShardBench(*cities, *scale, *queries, *seed, *shards, *tenantsN, *jsonOut); err != nil {

@@ -21,6 +21,21 @@ func TestRunQuickSliceIsClean(t *testing.T) {
 	}
 }
 
+// TestRunInterleavedSliceIsClean drives the interleaved live-ingest mode
+// through the CLI: a small seed slice must cross-check cleanly, with the
+// answer count (not the static query-grid size) reported.
+func TestRunInterleavedSliceIsClean(t *testing.T) {
+	var buf strings.Builder
+	code := run([]string{"-seeds", "0:2", "-quick", "-interleaved", "-workers", "2",
+		"-rounds", "2", "-query-workers", "2", "-out", t.TempDir()}, &buf)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "OK") || !strings.Contains(buf.String(), "0 divergences") {
+		t.Fatalf("unexpected output: %s", buf.String())
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	cases := [][]string{
 		{"-seeds", "5:4"},

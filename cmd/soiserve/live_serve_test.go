@@ -1,0 +1,46 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	soi "repro"
+)
+
+// TestBuildLiveEngineServesWrites covers the -live wiring end to end:
+// buildLiveEngine over a generated city yields an engine whose HTTP
+// handler accepts POST /api/pois and folds the write into a new epoch.
+func TestBuildLiveEngineServesWrites(t *testing.T) {
+	eng, err := buildLiveEngine("small", 0.25, "", soi.LiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if !eng.Live() || eng.Epoch() != 1 {
+		t.Fatalf("live = %t epoch = %d, want live epoch 1", eng.Live(), eng.Epoch())
+	}
+	srv := httptest.NewServer(newHandler(eng, 1<<20))
+	defer srv.Close()
+
+	resp, err := srv.Client().Post(srv.URL+"/api/pois", "application/json",
+		strings.NewReader(`{"x":0.001,"y":0.001,"keywords":["testwrite"],"publish":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /api/pois: status %d", resp.StatusCode)
+	}
+	if eng.Epoch() != 2 {
+		t.Fatalf("epoch after published write = %d, want 2", eng.Epoch())
+	}
+}
+
+// TestBuildLiveEngineRejectsMissingSource pins the CLI contract that
+// -live needs a buildable dataset.
+func TestBuildLiveEngineRejectsMissingSource(t *testing.T) {
+	if _, err := buildLiveEngine("", 1, "", soi.LiveConfig{}); err == nil {
+		t.Fatal("buildLiveEngine without -city or -data succeeded")
+	}
+}

@@ -66,6 +66,11 @@ func main() {
 		maxBatchBytes = flag.Int64("max-batch-bytes", server.DefaultMaxBatchBytes, "max /api/streets/batch request body size (negative = unlimited)")
 		shutdownGrace = flag.Duration("shutdown-grace", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 
+		live         = flag.Bool("live", false, "accept POI writes on POST /api/pois (epoch-based ingest; not with -index or -tenants)")
+		batchSize    = flag.Int("publish-batch", 0, "with -live, auto-publish a new epoch once this many POIs are pending (0 = explicit publish only)")
+		compactAfter = flag.Int("compact-after", 0, "with -live, auto-compact the delta log after this many publishes (0 = never)")
+		snapshotPath = flag.String("snapshot-path", "", "with -live, persist the compacted base as a .soi snapshot here on every compaction")
+
 		tenants        = flag.String("tenants", "", "serve every *.soi snapshot in this directory multi-tenant under /api/{city}/...")
 		maxTenants     = flag.Int("max-tenants", server.DefaultMaxOpenTenants, "max snapshot engines resident at once with -tenants (LRU eviction)")
 		tenantInflight = flag.Int("tenant-inflight", server.DefaultTenantInflight, "per-tenant admission quota with -tenants (503 over quota)")
@@ -85,6 +90,9 @@ func main() {
 	if *tenants != "" {
 		if *city != "" || *dataDir != "" || *indexPath != "" {
 			log.Fatal("-tenants is mutually exclusive with -city, -data and -index")
+		}
+		if *live {
+			log.Fatal("-live is not supported with -tenants")
 		}
 		ts, err := server.NewTenantServer(server.TenantConfig{
 			Dir:         *tenants,
@@ -108,16 +116,40 @@ func main() {
 		return
 	}
 
-	eng, err := buildEngine(*city, *scale, *dataDir, *indexPath, cfg)
+	var eng *soi.Engine
+	var err error
+	if *live {
+		// Live mode builds through the ingest path so POST /api/pois can
+		// append and publish; a mmap snapshot has no mutable corpus to
+		// seed, so -index stays read-only.
+		if *indexPath != "" {
+			log.Fatal("-live is not supported with -index (snapshots serve read-only)")
+		}
+		eng, err = buildLiveEngine(*city, *scale, *dataDir, soi.LiveConfig{
+			Config:       cfg,
+			BatchSize:    *batchSize,
+			CompactAfter: *compactAfter,
+			SnapshotPath: *snapshotPath,
+		})
+	} else {
+		eng, err = buildEngine(*city, *scale, *dataDir, *indexPath, cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	eng.Warm(soi.DefaultCellSize)
-	log.Printf("serving %d streets, %d POIs, %d photos on %s",
-		eng.NumStreets(), eng.NumPOIs(), eng.NumPhotos(), *addr)
+	mode := "read-only"
+	if *live {
+		mode = fmt.Sprintf("live (epoch %d)", eng.Epoch())
+	}
+	log.Printf("serving %d streets, %d POIs, %d photos on %s, %s",
+		eng.NumStreets(), eng.NumPOIs(), eng.NumPhotos(), *addr, mode)
 
 	if err := serve(ctx, *addr, newHandler(eng, *maxBatchBytes), *shutdownGrace); err != nil {
 		log.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		log.Printf("closing engine: %v", err)
 	}
 	log.Printf("shutdown complete")
 }
@@ -198,6 +230,40 @@ func buildEngine(city string, scale float64, dataDir, indexPath string, cfg soi.
 		return soi.NewEngineFromCorpora(ds.Network, ds.POIs, ds.Photos, cfg)
 	default:
 		return nil, fmt.Errorf("provide -city, -data or -index")
+	}
+}
+
+// buildLiveEngine is buildEngine for -live: same dataset sources minus
+// snapshots, built through the epoch-based ingest path.
+func buildLiveEngine(city string, scale float64, dataDir string, cfg soi.LiveConfig) (*soi.Engine, error) {
+	switch {
+	case dataDir != "":
+		net, pois, photos, _, err := dataio.LoadDir(dataDir)
+		if err != nil {
+			return nil, err
+		}
+		return soi.NewLiveEngineFromCorpora(net, pois, photos, cfg)
+	case city != "":
+		var p datagen.Profile
+		switch strings.ToLower(city) {
+		case "london":
+			p = datagen.London()
+		case "berlin":
+			p = datagen.Berlin()
+		case "vienna":
+			p = datagen.Vienna()
+		case "small":
+			p = datagen.Small(1)
+		default:
+			return nil, fmt.Errorf("unknown city %q", city)
+		}
+		ds, err := datagen.Generate(datagen.Scale(p, scale))
+		if err != nil {
+			return nil, err
+		}
+		return soi.NewLiveEngineFromCorpora(ds.Network, ds.POIs, ds.Photos, cfg)
+	default:
+		return nil, fmt.Errorf("provide -city or -data with -live")
 	}
 }
 

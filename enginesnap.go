@@ -35,6 +35,9 @@ func NewEngineFromSnapshot(path string, cfg Config) (*Engine, error) {
 // snapshot file, written atomically. An engine later opened from the
 // file with NewEngineFromSnapshot answers every query bit-identically.
 func (e *Engine) WriteSnapshot(path string) error {
+	if e.ing != nil {
+		return fmt.Errorf("soi: live engines persist snapshots through compaction (LiveConfig.SnapshotPath)")
+	}
 	six := e.index.SlabIndex()
 	if six == nil {
 		return fmt.Errorf("soi: engine has no compact index to snapshot")
@@ -47,10 +50,16 @@ func (e *Engine) WriteSnapshot(path string) error {
 	})
 }
 
-// Close releases the file mapping behind a snapshot-loaded engine. It
-// must not be called while queries are still in flight. For engines not
-// loaded from a snapshot it is a no-op.
+// Close releases the file mapping behind a snapshot-loaded engine and,
+// for a live engine, stops the background publisher/compactor. It must
+// not be called while queries are still in flight. For plain in-memory
+// engines it is a no-op.
 func (e *Engine) Close() error {
+	if e.ing != nil {
+		if err := e.ing.Close(); err != nil {
+			return err
+		}
+	}
 	if e.mapping == nil {
 		return nil
 	}

@@ -57,6 +57,14 @@ type World struct {
 	// index vs the sharded scatter-gather coordinator.
 	Single  *Metrics `json:"single,omitempty"`
 	Sharded *Metrics `json:"sharded,omitempty"`
+	// Live measures the read workload while a writer streams POIs
+	// through the epoch-based ingest path (ingest benchmark; the
+	// baseline quiescent read pass is in Single). Ingest carries the
+	// write-side measurements of the same run. Both blocks are optional
+	// additions within schema version 2 — v1 and earlier v2 artifacts
+	// remain valid.
+	Live   *Metrics     `json:"live,omitempty"`
+	Ingest *IngestBench `json:"ingest,omitempty"`
 	// Shard early-termination counters summed over the sharded
 	// workload (sharded benchmark only).
 	ShardsTotal     int `json:"shards_total,omitempty"`
@@ -68,6 +76,24 @@ type World struct {
 	// AllocsPerQuery (capped at the baseline count when the contender
 	// reaches zero).
 	AllocReduction float64 `json:"alloc_reduction"`
+}
+
+// IngestBench is the write-side measurement block of the mixed
+// read/write ingest benchmark: how many POIs the writer streamed, how
+// many epochs it published and compacted, and the cost of doing so while
+// the read workload ran.
+type IngestBench struct {
+	// Writes is the number of POIs appended to the delta log.
+	Writes int `json:"writes"`
+	// Publishes and Compactions count the installed epochs by kind.
+	Publishes   int `json:"publishes"`
+	Compactions int `json:"compactions"`
+	// FinalEpoch is the serving epoch sequence when the run ended.
+	FinalEpoch int `json:"final_epoch"`
+	// WriteQPS is appended POIs per second of mixed-run wall time.
+	WriteQPS float64 `json:"write_qps"`
+	// PublishMsMean is the mean wall time of one publish in milliseconds.
+	PublishMsMean float64 `json:"publish_ms_mean"`
 }
 
 // Report is one BENCH_*.json document.

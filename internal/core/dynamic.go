@@ -17,14 +17,26 @@ import (
 // grid cell, the affected keywords of the global inverted index are
 // re-sorted lazily, and the ε-augmented cell↔segment maps are
 // invalidated only when a previously empty cell becomes populated.
+//
+// In-place mutation is superseded by the epoch-based ingest path
+// (internal/ingest): under live traffic, writers append deltas and a
+// publisher installs fresh immutable epochs via atomic pointer swap, so
+// readers never observe a mutating index. AddPOI remains for offline,
+// single-goroutine index maintenance (and as the differential harness's
+// incremental-build reference); it is not reachable through the public
+// soi API, whose live engines route every write through ingest.
 
 // AddPOI appends a POI to the indexed corpus and updates every index
 // structure. The keyword strings are interned into the corpus dictionary.
+//
 // AddPOI is the one operation outside the Index read-only contract: it
 // mutates the grid, corpus and inverted index in place and must be
 // externally serialized against every concurrent reader (stop query
 // traffic, insert, then resume — or rebuild a fresh Index and swap it
 // in). Batch insertions and re-Warm afterwards for best performance.
+// New code serving concurrent queries should use internal/ingest
+// instead, which publishes copy-on-write epochs and never mutates an
+// index under readers.
 func (ix *Index) AddPOI(loc geo.Point, keywords []string, weight float64) (poi.ID, error) {
 	set := ix.pois.Dict().InternAll(keywords)
 	return ix.addPOISet(loc, set, weight)

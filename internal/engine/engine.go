@@ -60,6 +60,21 @@ func (e *PanicError) Error() string {
 // internal/faults). The chaos suite arms it to wedge or crash workers.
 const SiteEvaluate = "engine.evaluate"
 
+// EpochSource resolves the index generation a query evaluates against.
+// It is implemented by internal/ingest's Ingestor: AcquireEpoch pins the
+// current immutable epoch (an atomic load plus a refcount increment —
+// readers never lock) and returns its dense sequence number, its index,
+// its private mass cache (may be nil) and a release function the
+// executor calls when the evaluation ends. The sequence number prefixes
+// every result-cache and in-flight key, so entries cached under one
+// epoch can never serve queries after a publish installs the next.
+//
+// The interface is defined here — in terms of core types only — so the
+// ingest package can implement it without an import cycle.
+type EpochSource interface {
+	AcquireEpoch() (seq uint64, ix *core.Index, mass *core.MassCache, release func())
+}
+
 // Config controls executor construction.
 type Config struct {
 	// Workers bounds the number of queries evaluated concurrently by
@@ -94,6 +109,13 @@ type Config struct {
 	// every evaluation. A nil recorder disables recording at the cost of
 	// one branch per query.
 	Recorder *stats.Recorder
+	// Source, when non-nil, makes the executor resolve the serving index
+	// per query through the epoch source instead of the fixed index
+	// passed to New (which may then be nil): each evaluation pins the
+	// current epoch for its duration and its results are cached under
+	// the epoch's sequence number. When nil, the executor serves the
+	// fixed index as implicit epoch 0, preserving the static behavior.
+	Source EpochSource
 }
 
 // DefaultCacheSize is the LRU capacity used when Config leaves it zero.
@@ -112,6 +134,12 @@ type Result struct {
 	// original evaluation). Errored results are never cached, so a
 	// joined error reports Cached false.
 	Cached bool
+	// Epoch is the sequence number of the index epoch the result was
+	// evaluated against (0 for executors without an EpochSource). A
+	// cached result reports the epoch it was originally evaluated at,
+	// which — because cache keys are epoch-prefixed — always equals the
+	// epoch current when the hit was served.
+	Epoch uint64
 }
 
 // Metrics are the executor's cumulative counters; safe to read
@@ -151,9 +179,10 @@ type Executor struct {
 	queryTimeout time.Duration // 0 = no engine-level deadline
 	queued       atomic.Int64  // queries currently waiting for a slot
 
-	cache *lruCache       // nil when result caching is disabled
-	mass  *core.MassCache // nil when mass sharing is disabled
-	rec   *stats.Recorder // nil when observability recording is disabled
+	cache  *lruCache       // nil when result caching is disabled
+	mass   *core.MassCache // nil when mass sharing is disabled
+	rec    *stats.Recorder // nil when observability recording is disabled
+	source EpochSource     // nil for a fixed-index executor
 
 	flightMu sync.Mutex
 	flight   map[string]*flight
@@ -190,6 +219,7 @@ func New(ix *core.Index, cfg Config) *Executor {
 		queryTimeout: cfg.QueryTimeout,
 		flight:       make(map[string]*flight),
 		rec:          cfg.Recorder,
+		source:       cfg.Source,
 	}
 	switch {
 	case cfg.CacheSize == 0:
@@ -197,10 +227,22 @@ func New(ix *core.Index, cfg Config) *Executor {
 	case cfg.CacheSize > 0:
 		e.cache = newLRUCache(cfg.CacheSize)
 	}
-	if cfg.MassCacheEntries >= 0 {
+	// An epoch source carries a per-epoch mass cache; the executor-owned
+	// cache exists only on the static path, where masses stay valid for
+	// the executor's lifetime.
+	if cfg.MassCacheEntries >= 0 && cfg.Source == nil {
 		e.mass = core.NewMassCache(cfg.MassCacheEntries)
 	}
 	return e
+}
+
+// acquireEpoch resolves the epoch one evaluation runs against: the
+// pinned current epoch of the source, or the fixed index as epoch 0.
+func (e *Executor) acquireEpoch() (uint64, *core.Index, *core.MassCache, func()) {
+	if e.source == nil {
+		return 0, e.ix, e.mass, func() {}
+	}
+	return e.source.AcquireEpoch()
 }
 
 // Index returns the shared index the executor evaluates against.
@@ -313,7 +355,9 @@ func isContextErr(err error) bool {
 // joiner's) retries the evaluation itself instead of inheriting an error
 // it did not cause.
 func (e *Executor) eval(ctx context.Context, q core.Query) Result {
-	key := queryKey(q, e.strat)
+	seq, ix, mass, release := e.acquireEpoch()
+	defer release()
+	key := queryKey(q, e.strat, seq)
 	for {
 		if e.cache != nil {
 			if res, ok := e.cache.get(key); ok {
@@ -362,8 +406,8 @@ func (e *Executor) eval(ctx context.Context, q core.Query) Result {
 		e.flight[key] = f
 		e.flightMu.Unlock()
 
-		streets, st, err := e.evaluate(ctx, q)
-		f.res = Result{Streets: streets, Stats: st, Err: err}
+		streets, st, err := e.evaluate(ctx, q, ix, mass)
+		f.res = Result{Streets: streets, Stats: st, Err: err, Epoch: seq}
 		if err == nil && e.cache != nil {
 			e.cache.put(key, f.res)
 		}
@@ -420,7 +464,7 @@ func (e *Executor) acquire(ctx context.Context) error {
 // depth, queue wait, in-flight count, evaluation wall time and the run's
 // pruning counters; the nil-recorder path performs no time syscalls
 // beyond the evaluation itself.
-func (e *Executor) evaluate(ctx context.Context, q core.Query) ([]core.StreetResult, core.Stats, error) {
+func (e *Executor) evaluate(ctx context.Context, q core.Query, ix *core.Index, mass *core.MassCache) ([]core.StreetResult, core.Stats, error) {
 	rec := e.rec
 	if rec == nil {
 		if err := e.acquire(ctx); err != nil {
@@ -428,7 +472,7 @@ func (e *Executor) evaluate(ctx context.Context, q core.Query) ([]core.StreetRes
 		}
 		defer func() { <-e.sem }()
 		e.evaluations.Add(1)
-		return e.run(ctx, q)
+		return e.run(ctx, q, ix, mass)
 	}
 	depth := rec.Engine.QueueDepth.Add(1)
 	rec.Engine.PeakQueueDepth.SetMax(depth)
@@ -445,7 +489,7 @@ func (e *Executor) evaluate(ctx context.Context, q core.Query) ([]core.StreetRes
 	rec.Engine.PeakInFlight.SetMax(inFlight)
 	defer rec.Engine.InFlight.Add(-1)
 	start := time.Now()
-	streets, st, err := e.run(ctx, q)
+	streets, st, err := e.run(ctx, q, ix, mass)
 	elapsed := time.Since(start)
 	rec.Engine.Evaluations.Add(1)
 	rec.Engine.BusyNanos.Add(elapsed.Nanoseconds())
@@ -458,7 +502,7 @@ func (e *Executor) evaluate(ctx context.Context, q core.Query) ([]core.StreetRes
 // the algorithm is recovered into a per-query *PanicError, so a crashed
 // evaluation releases its worker slot (the caller's defer), wakes its
 // dedup joiners with the error, and leaves the process serving.
-func (e *Executor) run(ctx context.Context, q core.Query) (streets []core.StreetResult, st core.Stats, err error) {
+func (e *Executor) run(ctx context.Context, q core.Query, ix *core.Index, mass *core.MassCache) (streets []core.StreetResult, st core.Stats, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			streets, st = nil, core.Stats{}
@@ -472,7 +516,7 @@ func (e *Executor) run(ctx context.Context, q core.Query) (streets []core.Street
 	if ferr := faults.InjectCtx(ctx, SiteEvaluate); ferr != nil {
 		return nil, core.Stats{}, ferr
 	}
-	return e.ix.SOIContext(ctx, q, e.strat, e.mass)
+	return ix.SOIContext(ctx, q, e.strat, mass)
 }
 
 // Batch evaluates the queries concurrently over the shared index with at
@@ -593,10 +637,15 @@ func writeKeyBase(b *strings.Builder, q core.Query, strat core.Strategy) {
 	b.WriteString(strconv.Itoa(int(strat)))
 }
 
-// queryKey is the full cache identity of a query: the base identity plus
-// k.
-func queryKey(q core.Query, strat core.Strategy) string {
+// queryKey is the full cache identity of a query: the epoch sequence
+// number the evaluation is pinned to, the base identity, and k. The
+// epoch prefix is what makes publishes invalidate by construction —
+// post-publish queries look up under the new sequence and can never see
+// an entry cached under an old epoch.
+func queryKey(q core.Query, strat core.Strategy, seq uint64) string {
 	var b strings.Builder
+	b.WriteString(strconv.FormatUint(seq, 10))
+	b.WriteByte(0x1f)
 	writeKeyBase(&b, q, strat)
 	b.WriteByte(0x1f)
 	b.WriteString(strconv.Itoa(q.K))

@@ -1,0 +1,163 @@
+package ingest_test
+
+// Golden test for the ingest path: one fixed-seed, fixed-schedule
+// interleaving of appends, publishes, queries and a final compaction,
+// with the observable outcomes pinned exactly — the post-compaction
+// ranking down to the Float64bits of every interest score, the epoch
+// and cache counters, and the delta-log vs compacted-base equivalence.
+// Any change to fold order, epoch sequencing, cache keying or mass
+// arithmetic shows up here as a bit-level diff before it can reach the
+// (slower) differential harness.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ingest"
+	"repro/internal/stats"
+)
+
+// goldenRank pins one result row: the street id and the exact bits of
+// its interest and mass.
+type goldenRank struct {
+	street   uint32
+	interest uint64
+	mass     uint64
+}
+
+// golden pins the post-compaction answers of the fixed schedule below
+// (seed 42: 20 base POIs, two published batches of 10). Regenerate by
+// running the test with -run TestGoldenInterleaving -v after a
+// deliberate semantic change; it prints the new table on mismatch.
+var golden = map[int][]goldenRank{
+	0: {
+		{street: 3, interest: 0x4115c54fb4aab7f8, mass: 0x4008000000000000},
+		{street: 4, interest: 0x410f8a81337d110a, mass: 0x4008000000000000},
+		{street: 5, interest: 0x41050700ccfe0b5c, mass: 0x4000000000000000},
+		{street: 6, interest: 0x41050700ccfe0b5c, mass: 0x4000000000000000},
+	},
+	1: {
+		{street: 3, interest: 0x41367cd8de10444c, mass: 0x4024000000000000},
+		{street: 5, interest: 0x412afc3770e051f5, mass: 0x4018000000000000},
+		{street: 4, interest: 0x41267cd8de10444c, mass: 0x4014000000000000},
+	},
+	2: {
+		{street: 4, interest: 0x4129cd67f29171be, mass: 0x4030000000000000},
+		{street: 0, interest: 0x4127c48c27137047, mass: 0x4026000000000000},
+		{street: 7, interest: 0x4127c48c27137047, mass: 0x4026000000000000},
+		{street: 5, interest: 0x41259b68238608fb, mass: 0x4024000000000000},
+		{street: 6, interest: 0x4124f6e475162c6a, mass: 0x402a000000000000},
+		{street: 3, interest: 0x4121bd3776c3fe32, mass: 0x4026000000000000},
+		{street: 1, interest: 0x4109edb02aa0d793, mass: 0x4008000000000000},
+		{street: 2, interest: 0x4109cd67f29171be, mass: 0x4010000000000000},
+	},
+}
+
+func TestGoldenInterleaving(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	rec := stats.NewRecorder()
+	ing, err := ingest.New(testNet(t), randDeltas(r, 20), ingest.Config{
+		CellSize: testCell,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+	exec := engine.New(nil, engine.Config{Source: ing, Recorder: rec})
+
+	do := func(qi int, wantCached bool, label string) engine.Result {
+		t.Helper()
+		res := exec.Do(testQueries[qi])
+		if res.Err != nil {
+			t.Fatalf("%s: %v", label, res.Err)
+		}
+		if res.Cached != wantCached {
+			t.Fatalf("%s: cached = %t, want %t", label, res.Cached, wantCached)
+		}
+		return res
+	}
+
+	// Fixed schedule: epoch 1 (base) — q0 misses then hits; publish 10
+	// more → epoch 2 — q0 must re-evaluate, q1 misses; publish 10 more
+	// → epoch 3 — q1 and q2 miss; compaction → epoch 4 (same corpus as
+	// 3) — every query misses once (fresh epoch key), then hits.
+	do(0, false, "epoch 1 q0 first")
+	do(0, true, "epoch 1 q0 repeat")
+
+	ing.AddBatch(randDeltas(r, 10))
+	if seq, folded, err := ing.Publish(); err != nil || seq != 2 || folded != 10 {
+		t.Fatalf("publish 1 = (%d, %d, %v)", seq, folded, err)
+	}
+	do(0, false, "epoch 2 q0")
+	do(1, false, "epoch 2 q1")
+
+	ing.AddBatch(randDeltas(r, 10))
+	if seq, folded, err := ing.Publish(); err != nil || seq != 3 || folded != 10 {
+		t.Fatalf("publish 2 = (%d, %d, %v)", seq, folded, err)
+	}
+	pre := make([][]core.StreetResult, len(testQueries))
+	for qi := range testQueries {
+		pre[qi] = do(qi, false, fmt.Sprintf("epoch 3 q%d", qi)).Streets
+	}
+
+	if seq, folded, err := ing.Compact(); err != nil || seq != 4 || folded != 20 {
+		t.Fatalf("compact = (%d, %d, %v)", seq, folded, err)
+	}
+	post := make([][]core.StreetResult, len(testQueries))
+	for qi := range testQueries {
+		post[qi] = do(qi, false, fmt.Sprintf("epoch 4 q%d first", qi)).Streets
+		do(qi, true, fmt.Sprintf("epoch 4 q%d repeat", qi))
+	}
+
+	// Delta-log vs compacted-base equivalence: the compaction folded the
+	// published deltas into the base, so every answer must be
+	// bit-identical to the delta-log epoch it replaced.
+	for qi := range testQueries {
+		mustEqualResults(t, fmt.Sprintf("compacted vs delta-log, q%d", qi), post[qi], pre[qi])
+	}
+
+	// The pinned ranking, down to the float bits.
+	for qi, want := range golden {
+		got := post[qi]
+		ok := len(got) == len(want)
+		if ok {
+			for i := range got {
+				if uint32(got[i].Street) != want[i].street ||
+					math.Float64bits(got[i].Interest) != want[i].interest ||
+					math.Float64bits(got[i].Mass) != want[i].mass {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			t.Errorf("q%d ranking diverged from golden; new table:", qi)
+			for i := range got {
+				t.Errorf("  {street: %d, interest: %#x, mass: %#x},",
+					got[i].Street, math.Float64bits(got[i].Interest), math.Float64bits(got[i].Mass))
+			}
+		}
+	}
+
+	// Epoch and cache accounting, pinned exactly. 13 Do calls: 9 fresh
+	// evaluations (misses), 4 epoch-keyed hits.
+	snap := rec.Snapshot()
+	ist := snap.Ingest
+	if ist.EpochSeq != 4 || ist.Publishes != 2 || ist.Compactions != 1 ||
+		ist.DeltasAppended != 20 || ist.DeltasPending != 0 ||
+		ist.EpochsLive != 1 || ist.EpochsRetired != 3 {
+		t.Errorf("ingest counters: %+v", ist)
+	}
+	if snap.Engine.ResultCacheHits != 4 || snap.Engine.ResultCacheMisses != 9 {
+		t.Errorf("cache counters: hits %d misses %d, want 4 / 9",
+			snap.Engine.ResultCacheHits, snap.Engine.ResultCacheMisses)
+	}
+	if b, p, pend := ing.Counts(); b != 40 || p != 0 || pend != 0 {
+		t.Errorf("counts after compaction: (%d, %d, %d), want (40, 0, 0)", b, p, pend)
+	}
+}

@@ -1,0 +1,456 @@
+// Package ingest is the write path of the SOI system: an epoch-based
+// copy-on-write pipeline that lets POIs stream into a serving index
+// whose readers never lock.
+//
+// Writers append deltas to a batched in-memory delta log (Add/AddBatch —
+// a mutex-guarded slice append, never blocked by index builds). A
+// publisher (Publish, or the background goroutine when Config.BatchSize
+// is set) folds the base corpus plus every logged delta into a fresh
+// immutable core.Index, wraps it in an Epoch with a private MassCache,
+// and installs it with one atomic pointer swap. Queries resolve the
+// current epoch per evaluation through AcquireEpoch (the
+// engine.EpochSource contract): one atomic load plus a refcount
+// increment, no locks, and results are keyed by the epoch's sequence
+// number so stale cache entries can never serve post-publish queries.
+//
+// Background compaction (Compact, or the background goroutine when
+// Config.CompactAfter is set) folds the published deltas into a new
+// base, rebuilds the index — reusing the compact grid-slab build — and
+// optionally persists the folded base as a .soi snapshot
+// (internal/snapshot). The previous epoch is retired by releasing its
+// install reference; its memory and mass cache are freed when the last
+// in-flight reader drains.
+//
+// Determinism: every epoch's corpus is the base specs followed by the
+// published and pending deltas in append order, and each epoch interns a
+// fresh dictionary from those specs in that order. POI ids, grid builds
+// and mass folds are therefore pure functions of the logical corpus, so
+// an epoch's answers are bit-identical to a cold core.NewIndex build
+// over the same POIs — the property the interleaved differential harness
+// (internal/oracle) checks against the brute-force reference.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/geo"
+	"repro/internal/network"
+	"repro/internal/photo"
+	"repro/internal/poi"
+	"repro/internal/snapshot"
+	"repro/internal/stats"
+	"repro/internal/vocab"
+)
+
+// Fault-injection sites visited by the write path (see internal/faults).
+// The chaos suite arms them to delay, wedge or crash a publish or
+// compaction at its most sensitive points; none of them can corrupt an
+// installed epoch, because every site fires before the commit block that
+// mutates the log and swaps the pointer.
+const (
+	// SitePublish is visited at the start of every publish, before the
+	// delta log is read.
+	SitePublish = "ingest.publish"
+	// SiteCompact is visited at the start of every compaction.
+	SiteCompact = "ingest.compact"
+	// SiteSwap is visited after a publish or compaction has fully built
+	// its new epoch, immediately before the commit block (log update +
+	// atomic pointer swap).
+	SiteSwap = "ingest.swap"
+)
+
+// Delta is one streamed POI: a location, keyword strings and an optional
+// importance weight (0 means 1). Keywords are kept as strings — not
+// interned ids — because every epoch builds a fresh dictionary, keeping
+// dictionary mutation out of the concurrent write path.
+type Delta struct {
+	Loc      geo.Point
+	Keywords []string
+	Weight   float64
+}
+
+// PhotoSpec is a plain photo record used only when compaction persists
+// snapshots: the photo corpus is re-interned into each snapshot's
+// dictionary so the .soi file is self-consistent.
+type PhotoSpec struct {
+	Loc  geo.Point
+	Tags []string
+}
+
+// Config controls the ingest pipeline.
+type Config struct {
+	// CellSize is the grid cell side of every epoch's index; 0 means
+	// core's caller-facing default is NOT applied here — the Ingestor
+	// requires a positive cell size and New rejects 0.
+	CellSize float64
+	// MassCacheEntries bounds each epoch's private MassCache; 0 means
+	// core.DefaultMassCacheEntries, negative disables per-epoch mass
+	// caching.
+	MassCacheEntries int
+	// BatchSize, when positive, auto-publishes once the pending delta
+	// log reaches this many entries (the publish runs on the background
+	// goroutine; writers never build indexes inline).
+	BatchSize int
+	// CompactAfter, when positive, auto-compacts after this many
+	// publishes since the last compaction.
+	CompactAfter int
+	// SnapshotPath, when non-empty, makes every compaction persist the
+	// folded base as a .soi snapshot at this path (written atomically).
+	SnapshotPath string
+	// Photos are included in persisted snapshots (the .soi format
+	// requires a photo section); ignored when SnapshotPath is empty.
+	Photos []PhotoSpec
+	// Recorder, when non-nil, receives the ingest counters and gauges.
+	Recorder *stats.Recorder
+}
+
+// Ingestor owns the delta log and the epoch lifecycle. It is safe for
+// concurrent use: any number of writers (Add/AddBatch) and readers
+// (AcquireEpoch) may run concurrently with at most one publish or
+// compaction at a time.
+type Ingestor struct {
+	net *network.Network
+	cfg Config
+
+	// cur is the installed epoch; readers touch nothing else.
+	cur atomic.Pointer[Epoch]
+
+	// mu guards the delta log and lastErr. It is held only for slice
+	// appends and snapshots of the log — never across an index build —
+	// so writers are never blocked by a publish in progress.
+	mu        sync.Mutex
+	base      []Delta // compacted baseline, in original append order
+	published []Delta // folded into the current epoch, not yet compacted
+	pending   []Delta // appended, not yet folded into any epoch
+	lastErr   error   // last background publish/compact failure
+
+	// pubMu serializes publish and compaction; queries and writers never
+	// take it.
+	pubMu             sync.Mutex
+	sinceCompact      int // publishes since the last compaction
+	publishCh         chan struct{}
+	compactCh         chan struct{}
+	done              chan struct{}
+	wg                sync.WaitGroup
+	backgroundStarted bool
+
+	live    atomic.Int64 // epochs not yet drained to zero refs
+	retired atomic.Int64 // epochs fully released
+}
+
+// New builds an ingestor whose first epoch (sequence 1) indexes the base
+// deltas. The base slice is not retained.
+func New(net *network.Network, base []Delta, cfg Config) (*Ingestor, error) {
+	if cfg.CellSize <= 0 {
+		return nil, fmt.Errorf("ingest: non-positive cell size %v", cfg.CellSize)
+	}
+	ing := &Ingestor{
+		net:       net,
+		cfg:       cfg,
+		base:      append([]Delta(nil), base...),
+		publishCh: make(chan struct{}, 1),
+		compactCh: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	ep, err := ing.buildEpoch(1, ing.base)
+	if err != nil {
+		return nil, err
+	}
+	ing.install(ep)
+	if cfg.BatchSize > 0 || cfg.CompactAfter > 0 {
+		ing.backgroundStarted = true
+		ing.wg.Add(1)
+		go ing.background()
+	}
+	return ing, nil
+}
+
+// buildEpoch builds a fresh immutable index epoch over the given corpus
+// specs, in order. Each epoch interns its own dictionary so no shared
+// dictionary is ever mutated under readers.
+func (ing *Ingestor) buildEpoch(seq uint64, corpus []Delta) (*Epoch, error) {
+	dict := vocab.NewDictionary()
+	pb := poi.NewBuilder(dict)
+	for _, d := range corpus {
+		pb.AddWeighted(d.Loc, d.Keywords, d.Weight)
+	}
+	ix, err := core.NewIndex(ing.net, pb.Build(), core.IndexConfig{CellSize: ing.cfg.CellSize, Compact: true})
+	if err != nil {
+		return nil, fmt.Errorf("ingest: building epoch %d: %w", seq, err)
+	}
+	var mass *core.MassCache
+	if ing.cfg.MassCacheEntries >= 0 {
+		mass = core.NewMassCache(ing.cfg.MassCacheEntries)
+	}
+	return newEpoch(seq, ix, mass, ing.epochReleased), nil
+}
+
+// install makes ep the serving epoch and retires the previous one by
+// releasing its install reference.
+func (ing *Ingestor) install(ep *Epoch) {
+	ing.live.Add(1)
+	if rec := ing.cfg.Recorder; rec != nil {
+		rec.Ingest.EpochSeq.Store(int64(ep.seq))
+		rec.Ingest.EpochsLive.Store(ing.live.Load())
+	}
+	old := ing.cur.Swap(ep)
+	if old != nil {
+		old.release()
+	}
+}
+
+// epochReleased is the onRelease hook of every epoch: it clears the
+// epoch's mass cache (releasing its memory promptly) and folds the
+// retirement into the gauges.
+func (ing *Ingestor) epochReleased(ep *Epoch) {
+	if ep.mass != nil {
+		ep.mass.Clear()
+	}
+	ing.retired.Add(1)
+	live := ing.live.Add(-1)
+	if rec := ing.cfg.Recorder; rec != nil {
+		rec.Ingest.EpochsRetired.Add(1)
+		rec.Ingest.EpochsLive.Store(live)
+	}
+}
+
+// AcquireEpoch pins the current epoch for one query evaluation and
+// returns its sequence number, index, mass cache and release function.
+// It implements engine.EpochSource: the fast path is one atomic pointer
+// load plus one refcount CAS. The rare retry loop covers a reader that
+// loaded an epoch pointer just as the epoch's last reference drained.
+func (ing *Ingestor) AcquireEpoch() (uint64, *core.Index, *core.MassCache, func()) {
+	for {
+		ep := ing.cur.Load()
+		if ep.tryAcquire() {
+			return ep.seq, ep.ix, ep.mass, ep.release
+		}
+	}
+}
+
+// Current returns the installed epoch without pinning it (for
+// inspection; the epoch may retire at any time).
+func (ing *Ingestor) Current() *Epoch { return ing.cur.Load() }
+
+// Add appends one delta to the log and returns the pending count.
+func (ing *Ingestor) Add(d Delta) int { return ing.AddBatch([]Delta{d}) }
+
+// AddBatch appends deltas to the log and returns the pending count. The
+// call never blocks on index builds; when auto-publish is configured and
+// the batch threshold is reached, the background publisher is signalled.
+func (ing *Ingestor) AddBatch(ds []Delta) int {
+	ing.mu.Lock()
+	ing.pending = append(ing.pending, ds...)
+	n := len(ing.pending)
+	ing.mu.Unlock()
+	if rec := ing.cfg.Recorder; rec != nil {
+		rec.Ingest.DeltasAppended.Add(int64(len(ds)))
+		rec.Ingest.DeltasPending.Store(int64(n))
+	}
+	if ing.cfg.BatchSize > 0 && n >= ing.cfg.BatchSize {
+		select {
+		case ing.publishCh <- struct{}{}:
+		default:
+		}
+	}
+	return n
+}
+
+// Counts returns the corpus accounting: base POIs, published deltas not
+// yet compacted, and pending deltas not yet published.
+func (ing *Ingestor) Counts() (base, published, pending int) {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return len(ing.base), len(ing.published), len(ing.pending)
+}
+
+// Err returns the last background publish or compaction failure, if any.
+func (ing *Ingestor) Err() error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.lastErr
+}
+
+// Publish folds every pending delta into a fresh epoch and installs it.
+// With nothing pending it is a no-op returning the current sequence.
+// The build runs outside the log mutex, so writers keep appending and
+// readers keep serving the previous epoch throughout; the swap is one
+// atomic store. A panic during the build (including injected faults) is
+// recovered into the returned error and leaves the installed epoch and
+// the delta log untouched.
+func (ing *Ingestor) Publish() (seq uint64, folded int, err error) {
+	ing.pubMu.Lock()
+	defer ing.pubMu.Unlock()
+	defer func() {
+		if v := recover(); v != nil {
+			seq, folded = ing.cur.Load().seq, 0
+			err = fmt.Errorf("ingest: publish panicked: %v", v)
+		}
+	}()
+	faults.Inject(SitePublish)
+
+	ing.mu.Lock()
+	delta := ing.pending[:len(ing.pending):len(ing.pending)]
+	corpus := make([]Delta, 0, len(ing.base)+len(ing.published)+len(delta))
+	corpus = append(corpus, ing.base...)
+	corpus = append(corpus, ing.published...)
+	corpus = append(corpus, delta...)
+	ing.mu.Unlock()
+	cur := ing.cur.Load()
+	if len(delta) == 0 {
+		return cur.seq, 0, nil
+	}
+
+	start := time.Now()
+	ep, err := ing.buildEpoch(cur.seq+1, corpus)
+	if err != nil {
+		return cur.seq, 0, err
+	}
+	faults.Inject(SiteSwap)
+
+	// Commit block: from here on nothing can fail. Move the folded
+	// prefix of the pending log to published (writers may have appended
+	// more in the meantime; those stay pending), then swap the epoch.
+	ing.mu.Lock()
+	ing.published = append(ing.published, delta...)
+	ing.pending = append([]Delta(nil), ing.pending[len(delta):]...)
+	pendingNow := len(ing.pending)
+	ing.mu.Unlock()
+	ing.install(ep)
+	ing.sinceCompact++
+	if rec := ing.cfg.Recorder; rec != nil {
+		rec.Ingest.Publishes.Add(1)
+		rec.Ingest.PublishNanos.Add(time.Since(start).Nanoseconds())
+		rec.Ingest.DeltasPending.Store(int64(pendingNow))
+	}
+	if ing.cfg.CompactAfter > 0 && ing.sinceCompact >= ing.cfg.CompactAfter {
+		select {
+		case ing.compactCh <- struct{}{}:
+		default:
+		}
+	}
+	return ep.seq, len(delta), nil
+}
+
+// Compact folds the published deltas into the base, rebuilds the index
+// over the folded corpus — the exact POI sequence the current epoch
+// serves, so the new epoch answers bit-identically — installs it as a
+// new epoch, retires the old one, and (when configured) persists the
+// folded base as a snapshot. With nothing published it is a no-op.
+// Pending deltas are untouched: they belong to a future publish.
+func (ing *Ingestor) Compact() (seq uint64, folded int, err error) {
+	ing.pubMu.Lock()
+	defer ing.pubMu.Unlock()
+	defer func() {
+		if v := recover(); v != nil {
+			seq, folded = ing.cur.Load().seq, 0
+			err = fmt.Errorf("ingest: compact panicked: %v", v)
+		}
+	}()
+	faults.Inject(SiteCompact)
+
+	ing.mu.Lock()
+	nPub := len(ing.published)
+	newBase := make([]Delta, 0, len(ing.base)+nPub)
+	newBase = append(newBase, ing.base...)
+	newBase = append(newBase, ing.published...)
+	ing.mu.Unlock()
+	cur := ing.cur.Load()
+	if nPub == 0 {
+		return cur.seq, 0, nil
+	}
+
+	start := time.Now()
+	ep, err := ing.buildEpoch(cur.seq+1, newBase)
+	if err != nil {
+		return cur.seq, 0, err
+	}
+	if ing.cfg.SnapshotPath != "" {
+		if err := ing.writeSnapshot(ep); err != nil {
+			return cur.seq, 0, err
+		}
+	}
+	faults.Inject(SiteSwap)
+
+	// Commit block: fold the log, swap, retire.
+	ing.mu.Lock()
+	ing.base = newBase
+	ing.published = nil
+	ing.mu.Unlock()
+	ing.install(ep)
+	ing.sinceCompact = 0
+	if rec := ing.cfg.Recorder; rec != nil {
+		rec.Ingest.Compactions.Add(1)
+		rec.Ingest.CompactNanos.Add(time.Since(start).Nanoseconds())
+	}
+	return ep.seq, nPub, nil
+}
+
+// writeSnapshot persists the epoch's corpus and slab as a .soi file,
+// re-interning the configured photos into the epoch's dictionary so the
+// snapshot is self-consistent.
+func (ing *Ingestor) writeSnapshot(ep *Epoch) error {
+	six := ep.ix.SlabIndex()
+	if six == nil {
+		return errors.New("ingest: epoch has no compact slab to snapshot")
+	}
+	rb := photo.NewBuilder(ep.ix.POIs().Dict())
+	for _, p := range ing.cfg.Photos {
+		rb.Add(p.Loc, p.Tags)
+	}
+	return snapshot.WriteFile(ing.cfg.SnapshotPath, &snapshot.Snapshot{
+		Net:    ing.net,
+		POIs:   ep.ix.POIs(),
+		Photos: rb.Build(),
+		Slab:   six.Slab(),
+	})
+}
+
+// background drains the auto-publish and auto-compact signals until
+// Close. Failures are retained in Err.
+func (ing *Ingestor) background() {
+	defer ing.wg.Done()
+	for {
+		select {
+		case <-ing.done:
+			return
+		case <-ing.publishCh:
+			if _, _, err := ing.Publish(); err != nil {
+				ing.setErr(err)
+			}
+		case <-ing.compactCh:
+			if _, _, err := ing.Compact(); err != nil {
+				ing.setErr(err)
+			}
+		}
+	}
+}
+
+func (ing *Ingestor) setErr(err error) {
+	ing.mu.Lock()
+	ing.lastErr = err
+	ing.mu.Unlock()
+}
+
+// Close stops the background publisher/compactor and waits for it. The
+// installed epoch stays live (it holds its install reference) so
+// in-flight and subsequent reads remain safe; Close only quiesces the
+// write path.
+func (ing *Ingestor) Close() error {
+	if ing.backgroundStarted {
+		ing.backgroundStarted = false
+		close(ing.done)
+		ing.wg.Wait()
+	}
+	return nil
+}
+
+// LiveEpochs and RetiredEpochs expose the lifecycle gauges for tests.
+func (ing *Ingestor) LiveEpochs() int64    { return ing.live.Load() }
+func (ing *Ingestor) RetiredEpochs() int64 { return ing.retired.Load() }

@@ -1,0 +1,112 @@
+package server
+
+// Tests for the POST /api/pois write endpoint against a live engine:
+// appends land in the delta log, an optional publish folds them into a
+// fresh epoch visible to subsequent queries, and a read-only deployment
+// answers 501.
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	soi "repro"
+)
+
+func testLiveServer(t *testing.T, cfg soi.LiveConfig) *Server {
+	t.Helper()
+	streets := []soi.StreetInput{
+		{Name: "High St", Polyline: []soi.Point{{X: 0, Y: 0}, {X: 0.002, Y: 0}}},
+		{Name: "Side St", Polyline: []soi.Point{{X: 0, Y: 0.005}, {X: 0.002, Y: 0.005}}},
+	}
+	var pois []soi.POIInput
+	for i := 0; i < 6; i++ {
+		pois = append(pois, soi.POIInput{X: 0.0003 * float64(i), Y: 0.0001, Keywords: []string{"shop"}})
+	}
+	photos := []soi.PhotoInput{
+		{X: 0.0005, Y: 0.0001, Tags: []string{"high", "shopfront"}},
+	}
+	eng, err := soi.NewLiveEngine(streets, pois, photos, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return New(eng)
+}
+
+func TestPOIsAppendAndPublish(t *testing.T) {
+	s := testLiveServer(t, soi.LiveConfig{})
+
+	// Batch append without publish: deltas stay pending, epoch unchanged.
+	rec, body := post(t, s, "/api/pois", `{"pois":[
+		{"x":0.0004,"y":0.0051,"keywords":["museum"]},
+		{"x":0.0008,"y":0.0049,"keywords":["museum"]}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, body)
+	}
+	if body["added"].(float64) != 2 || body["pending"].(float64) != 2 ||
+		body["epoch"].(float64) != 1 || body["published"].(bool) {
+		t.Fatalf("append response = %v", body)
+	}
+	if rec, body := get(t, s, "/api/streets?keywords=museum"); rec.Code != http.StatusOK ||
+		len(body["streets"].([]interface{})) != 0 {
+		t.Fatalf("unpublished deltas visible: %v", body)
+	}
+
+	// Single inline POI with publish: everything pending folds.
+	rec, body = post(t, s, "/api/pois", `{"x":0.0012,"y":0.005,"keywords":["museum"],"publish":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, body)
+	}
+	if body["added"].(float64) != 1 || body["pending"].(float64) != 0 ||
+		body["epoch"].(float64) != 2 || !body["published"].(bool) {
+		t.Fatalf("publish response = %v", body)
+	}
+	rec, qbody := get(t, s, "/api/streets?keywords=museum")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, qbody)
+	}
+	streets := qbody["streets"].([]interface{})
+	if len(streets) != 1 || streets[0].(map[string]interface{})["Name"] != "Side St" {
+		t.Fatalf("published POIs not served: %v", streets)
+	}
+}
+
+func TestPOIsValidation(t *testing.T) {
+	s := testLiveServer(t, soi.LiveConfig{})
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"empty", `{}`, http.StatusBadRequest},
+		{"empty batch", `{"pois":[]}`, http.StatusBadRequest},
+		{"bad json", `{"pois":`, http.StatusBadRequest},
+		{"missing keywords", `{"pois":[{"x":1,"y":1}]}`, http.StatusBadRequest},
+		{"out of bounds", `{"x":99,"y":99,"keywords":["shop"]}`, http.StatusOK},
+	}
+	for _, c := range cases {
+		rec, body := post(t, s, "/api/pois", c.body)
+		if rec.Code != c.status {
+			t.Errorf("%s: status = %d, want %d (%v)", c.name, rec.Code, c.status, body)
+		}
+	}
+
+	// Method and size guards.
+	rec, _ := get(t, s, "/api/pois")
+	if rec.Code != http.StatusMethodNotAllowed || rec.Header().Get("Allow") != http.MethodPost {
+		t.Fatalf("GET /api/pois: status %d Allow %q", rec.Code, rec.Header().Get("Allow"))
+	}
+	big := `{"pois":[` + strings.Repeat(`{"x":0,"y":0,"keywords":["shop"]},`, 40) + `{"x":0,"y":0,"keywords":["shop"]}]}`
+	small := NewWithConfig(s.engine, Config{MaxBatchBytes: 64})
+	if rec, _ := post(t, small, "/api/pois", big); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", rec.Code)
+	}
+}
+
+func TestPOIsOnStaticEngineIs501(t *testing.T) {
+	s := testServer(t)
+	rec, body := post(t, s, "/api/pois", `{"x":0,"y":0,"keywords":["shop"]}`)
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("static engine write: status %d body %v, want 501", rec.Code, body)
+	}
+}

@@ -9,10 +9,12 @@
 //	/api/describe?street=NAME&k=4&lambda=0.5&w=0.5&rho=0.0001&eps=0.0005
 //	/api/tour?keywords=a,b&k=10&eps=0.0005&budget=0.05
 //
-// plus one POST endpoint evaluating many k-SOI queries concurrently over
-// the shared index:
+// plus two POST endpoints — one evaluating many k-SOI queries
+// concurrently over the shared index, one appending POIs to a live
+// engine's ingest log:
 //
 //	/api/streets/batch[?trace=1]       {"queries":[{"keywords":["a"],"k":10,"eps":0.0005}, ...]}
+//	/api/pois                          {"x":..,"y":..,"keywords":["a"]} or {"pois":[...],"publish":true}
 //
 // With trace=1 every k-SOI answer carries a per-stage trace: the phase
 // timings of the paper's Figure 4 and the accessed-cell/segment counts
@@ -33,8 +35,10 @@
 // away cancels its evaluation at the next cooperative checkpoint (499
 // accounting), an expired per-query deadline maps to 504, and load shed
 // by the engine's admission control maps to 503 with a Retry-After
-// hint. The batch endpoint rejects non-POST methods with 405 and caps
-// its request body with Config.MaxBatchBytes (413 on overflow).
+// hint. The POST endpoints reject non-POST methods with 405 and cap
+// their request bodies with Config.MaxBatchBytes (413 on overflow).
+// /api/pois against an engine built without live ingest answers 501,
+// since the deployment simply lacks a write path.
 package server
 
 import (
@@ -94,6 +98,7 @@ func NewWithConfig(engine *soi.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/streets", s.handleStreets)
 	s.mux.HandleFunc("/api/streets/batch", s.handleStreetsBatch)
+	s.mux.HandleFunc("/api/pois", s.handlePOIs)
 	s.mux.HandleFunc("/api/describe", s.handleDescribe)
 	s.mux.HandleFunc("/api/tour", s.handleTour)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -411,6 +416,104 @@ func (s *Server) handleStreetsBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// poiBody is one POI of a write request.
+type poiBody struct {
+	X        float64  `json:"x"`
+	Y        float64  `json:"y"`
+	Keywords []string `json:"keywords"`
+	Weight   float64  `json:"weight"`
+}
+
+// poisRequest is the /api/pois request payload. A single POI can be
+// given inline at the top level, a batch under "pois"; "publish" asks
+// for the appended deltas to be folded into a fresh epoch before the
+// response is written (otherwise they stay pending until the engine's
+// batch threshold or an operator publish folds them).
+type poisRequest struct {
+	poiBody
+	POIs    []poiBody `json:"pois"`
+	Publish bool      `json:"publish"`
+}
+
+// poisResponse reports the write outcome: how many deltas this request
+// appended, how many are pending in the delta log after it, the epoch
+// serving queries when the response was written, and whether this
+// request's publish ran.
+type poisResponse struct {
+	Added     int    `json:"added"`
+	Pending   int    `json:"pending"`
+	Epoch     uint64 `json:"epoch"`
+	Published bool   `json:"published"`
+}
+
+// maxPOIBatch caps one write request, mirroring maxBatchQueries.
+const maxPOIBatch = 1024
+
+func (s *Server) handlePOIs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	if !s.engine.Live() {
+		// Not a client error and not a fault: this deployment was built
+		// without a write path.
+		writeError(w, http.StatusNotImplemented, soi.ErrNotLive)
+		return
+	}
+	if s.maxBatchBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBatchBytes)
+	}
+	var req poisRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	bodies := req.POIs
+	if len(bodies) == 0 && len(req.Keywords) > 0 {
+		bodies = []poiBody{req.poiBody}
+	}
+	if len(bodies) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no POIs: give one inline or a non-empty \"pois\" array"))
+		return
+	}
+	if len(bodies) > maxPOIBatch {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%d POIs exceed the batch limit %d", len(bodies), maxPOIBatch))
+		return
+	}
+	pois := make([]soi.POIInput, len(bodies))
+	for i, b := range bodies {
+		if len(b.Keywords) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("poi %d: keywords required", i))
+			return
+		}
+		pois[i] = soi.POIInput{X: b.X, Y: b.Y, Keywords: b.Keywords, Weight: b.Weight}
+	}
+	pending, err := s.engine.AddPOIs(pois)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := poisResponse{Added: len(pois), Pending: pending}
+	if req.Publish {
+		if _, _, err := s.engine.Publish(); err != nil {
+			// The appends landed; the publish failing is a server fault.
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("publish after append: %w", err))
+			return
+		}
+		resp.Published = true
+		_, _, resp.Pending = s.engine.IngestCounts()
+	}
+	resp.Epoch = s.engine.Epoch()
 	writeJSON(w, http.StatusOK, resp)
 }
 

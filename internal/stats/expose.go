@@ -52,6 +52,15 @@ func (s Snapshot) counterRows() []counterRow {
 		{"cancelled", s.Engine.Cancelled, false},
 		{"deadline_exceeded", s.Engine.DeadlineExceeded, false},
 		{"panics_recovered", s.Engine.PanicsRecovered, false},
+		{"ingest_deltas_appended", s.Ingest.DeltasAppended, false},
+		{"ingest_deltas_pending", s.Ingest.DeltasPending, true},
+		{"ingest_publishes", s.Ingest.Publishes, false},
+		{"ingest_compactions", s.Ingest.Compactions, false},
+		{"ingest_epoch_seq", s.Ingest.EpochSeq, true},
+		{"ingest_epochs_live", s.Ingest.EpochsLive, true},
+		{"ingest_epochs_retired", s.Ingest.EpochsRetired, false},
+		{"ingest_publish_ns", s.Ingest.PublishNanos, false},
+		{"ingest_compact_ns", s.Ingest.CompactNanos, false},
 		{"diversify_summaries", s.Diversify.Summaries, false},
 		{"diversify_iterations", s.Diversify.Iterations, false},
 		{"diversify_candidate_photos", s.Diversify.CandidatePhotos, false},

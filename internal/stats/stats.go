@@ -47,6 +47,11 @@ func (c *Counter) SetMax(v int64) {
 	}
 }
 
+// Store overwrites the counter with v. Used for gauges whose
+// authoritative value lives elsewhere (e.g. the current epoch sequence
+// or the pending-delta depth) and is mirrored into the recorder.
+func (c *Counter) Store(v int64) { c.v.Store(v) }
+
 // CoreStats aggregates Algorithm 1 work across every evaluation: the
 // paper's "accessed cells and segments" (Sec. 6) as cumulative totals.
 type CoreStats struct {
@@ -145,6 +150,33 @@ type DiversifyStats struct {
 	SummaryNanos Counter
 }
 
+// IngestStats aggregates the epoch-based write path: delta-log traffic,
+// epoch publishes, compactions and the epoch lifecycle gauges.
+type IngestStats struct {
+	// DeltasAppended counts POI deltas accepted into the delta log.
+	DeltasAppended Counter
+	// DeltasPending is a gauge: deltas appended but not yet folded into
+	// a published epoch.
+	DeltasPending Counter
+	// Publishes counts successful epoch publishes (pointer swaps that
+	// installed a new epoch built from base + delta log).
+	Publishes Counter
+	// Compactions counts successful compactions (delta log folded into
+	// the base, old epochs retired).
+	Compactions Counter
+	// EpochSeq is a gauge: the sequence number of the currently
+	// installed epoch.
+	EpochSeq Counter
+	// EpochsLive is a gauge: epochs whose refcount has not drained to
+	// zero (the installed epoch plus any still pinned by in-flight
+	// queries). EpochsRetired counts epochs fully released.
+	EpochsLive    Counter
+	EpochsRetired Counter
+	// PublishNanos and CompactNanos accumulate rebuild wall time.
+	PublishNanos Counter
+	CompactNanos Counter
+}
+
 // Recorder is the process-wide sink for observability counters. One
 // recorder is owned by the soi.Engine and shared by every layer under
 // it; a nil *Recorder disables recording entirely.
@@ -152,6 +184,7 @@ type Recorder struct {
 	Core      CoreStats
 	Engine    EngineStats
 	Diversify DiversifyStats
+	Ingest    IngestStats
 }
 
 // NewRecorder returns a zeroed recorder.
@@ -209,12 +242,26 @@ type DiversifySnapshot struct {
 	SummaryNanos    int64 `json:"summary_ns"`
 }
 
+// IngestSnapshot is the JSON form of IngestStats.
+type IngestSnapshot struct {
+	DeltasAppended int64 `json:"deltas_appended"`
+	DeltasPending  int64 `json:"deltas_pending"`
+	Publishes      int64 `json:"publishes"`
+	Compactions    int64 `json:"compactions"`
+	EpochSeq       int64 `json:"epoch_seq"`
+	EpochsLive     int64 `json:"epochs_live"`
+	EpochsRetired  int64 `json:"epochs_retired"`
+	PublishNanos   int64 `json:"publish_ns"`
+	CompactNanos   int64 `json:"compact_ns"`
+}
+
 // Snapshot is a point-in-time copy of every recorder value, safe to
 // serialize while traffic continues.
 type Snapshot struct {
 	Core      CoreSnapshot      `json:"core"`
 	Engine    EngineSnapshot    `json:"engine"`
 	Diversify DiversifySnapshot `json:"diversify"`
+	Ingest    IngestSnapshot    `json:"ingest"`
 }
 
 // Snapshot copies the current counter and histogram values. Each counter
@@ -270,6 +317,17 @@ func (r *Recorder) Snapshot() Snapshot {
 			CellsExamined:   r.Diversify.CellsExamined.Load(),
 			CellsPruned:     r.Diversify.CellsPruned.Load(),
 			SummaryNanos:    r.Diversify.SummaryNanos.Load(),
+		},
+		Ingest: IngestSnapshot{
+			DeltasAppended: r.Ingest.DeltasAppended.Load(),
+			DeltasPending:  r.Ingest.DeltasPending.Load(),
+			Publishes:      r.Ingest.Publishes.Load(),
+			Compactions:    r.Ingest.Compactions.Load(),
+			EpochSeq:       r.Ingest.EpochSeq.Load(),
+			EpochsLive:     r.Ingest.EpochsLive.Load(),
+			EpochsRetired:  r.Ingest.EpochsRetired.Load(),
+			PublishNanos:   r.Ingest.PublishNanos.Load(),
+			CompactNanos:   r.Ingest.CompactNanos.Load(),
 		},
 	}
 }

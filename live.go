@@ -1,0 +1,217 @@
+package soi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/geo"
+	"repro/internal/ingest"
+	"repro/internal/network"
+	"repro/internal/photo"
+	"repro/internal/poi"
+	"repro/internal/stats"
+	"repro/internal/vocab"
+)
+
+// LiveConfig extends Config with the write-path knobs of a live engine.
+type LiveConfig struct {
+	Config
+	// BatchSize, when positive, auto-publishes a new index epoch once
+	// the pending delta log reaches this many POIs; 0 means epochs are
+	// published only by explicit Publish calls.
+	BatchSize int
+	// CompactAfter, when positive, auto-compacts the delta log into a
+	// new base after this many publishes; 0 means compaction runs only
+	// by explicit Compact calls.
+	CompactAfter int
+	// SnapshotPath, when non-empty, makes every compaction persist the
+	// folded base as a .soi snapshot at this path.
+	SnapshotPath string
+}
+
+// ErrNotLive is returned by the write-path methods of an engine that was
+// not built with NewLiveEngine.
+var ErrNotLive = errors.New("soi: engine has no ingest path (built without NewLiveEngine)")
+
+// NewLiveEngine builds an engine whose POI corpus accepts live writes:
+// POIs stream in through AddPOIs, are folded into immutable index epochs
+// by Publish (or automatically per LiveConfig.BatchSize), and queries
+// always evaluate against the epoch current at their start — readers
+// never lock, and the result caches are keyed by epoch so a publish can
+// never serve stale answers. The street network and photo corpus remain
+// fixed for the engine's lifetime; only POIs churn.
+//
+// Call Close when done: it stops the background publisher/compactor.
+func NewLiveEngine(streets []StreetInput, pois []POIInput, photos []PhotoInput, cfg LiveConfig) (*Engine, error) {
+	nb := network.NewBuilder()
+	for _, s := range streets {
+		pts := make([]geo.Point, len(s.Polyline))
+		for i, p := range s.Polyline {
+			pts[i] = geo.Pt(p.X, p.Y)
+		}
+		nb.AddStreet(s.Name, pts)
+	}
+	net, err := nb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("soi: building network: %w", err)
+	}
+	// Photos keep their own dictionary: DescribeStreet resolves tags
+	// against it, while each POI epoch interns a fresh dictionary of its
+	// own (keyword ids never cross the epoch boundary).
+	dict := vocab.NewDictionary()
+	phc := photoBuilderFromInputs(photos, dict)
+
+	cell := cfg.GridCellSize
+	if cell == 0 {
+		cell = DefaultCellSize
+	}
+	rec := stats.NewRecorder()
+	base := make([]ingest.Delta, len(pois))
+	for i, p := range pois {
+		base[i] = ingest.Delta{Loc: geo.Pt(p.X, p.Y), Keywords: p.Keywords, Weight: p.Weight}
+	}
+	var phSpecs []ingest.PhotoSpec
+	if cfg.SnapshotPath != "" {
+		phSpecs = make([]ingest.PhotoSpec, len(photos))
+		for i, p := range photos {
+			phSpecs[i] = ingest.PhotoSpec{Loc: geo.Pt(p.X, p.Y), Tags: p.Tags}
+		}
+	}
+	ing, err := ingest.New(net, base, ingest.Config{
+		CellSize:     cell,
+		BatchSize:    cfg.BatchSize,
+		CompactAfter: cfg.CompactAfter,
+		SnapshotPath: cfg.SnapshotPath,
+		Photos:       phSpecs,
+		Recorder:     rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	exec := engine.New(nil, engine.Config{
+		Workers:      cfg.Workers,
+		CacheSize:    cfg.CacheSize,
+		QueueDepth:   cfg.QueueDepth,
+		MaxQueueWait: cfg.MaxQueueWait,
+		QueryTimeout: cfg.QueryTimeout,
+		Recorder:     rec,
+		Source:       ing,
+	})
+	return &Engine{net: net, photos: phc, dict: dict, exec: exec, rec: rec, ing: ing}, nil
+}
+
+// NewLiveEngineFromCorpora is NewLiveEngine over already-built internal
+// corpora (datagen/dataio datasets): the POI corpus seeds the ingest
+// base and its keywords are re-interned per epoch, so the input corpus
+// stays untouched.
+func NewLiveEngineFromCorpora(net *network.Network, pois *poi.Corpus, photos *photo.Corpus, cfg LiveConfig) (*Engine, error) {
+	cell := cfg.GridCellSize
+	if cell == 0 {
+		cell = DefaultCellSize
+	}
+	rec := stats.NewRecorder()
+	dict := pois.Dict()
+	base := make([]ingest.Delta, pois.Len())
+	for i := range base {
+		p := pois.Get(poi.ID(i))
+		base[i] = ingest.Delta{Loc: p.Loc, Keywords: dict.Names(p.Keywords), Weight: p.Weight}
+	}
+	var phSpecs []ingest.PhotoSpec
+	if cfg.SnapshotPath != "" {
+		phDict := photos.Dict()
+		phSpecs = make([]ingest.PhotoSpec, photos.Len())
+		for i := range phSpecs {
+			ph := photos.Get(photo.ID(i))
+			phSpecs[i] = ingest.PhotoSpec{Loc: ph.Loc, Tags: phDict.Names(ph.Tags)}
+		}
+	}
+	ing, err := ingest.New(net, base, ingest.Config{
+		CellSize:     cell,
+		BatchSize:    cfg.BatchSize,
+		CompactAfter: cfg.CompactAfter,
+		SnapshotPath: cfg.SnapshotPath,
+		Photos:       phSpecs,
+		Recorder:     rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	exec := engine.New(nil, engine.Config{
+		Workers:      cfg.Workers,
+		CacheSize:    cfg.CacheSize,
+		QueueDepth:   cfg.QueueDepth,
+		MaxQueueWait: cfg.MaxQueueWait,
+		QueryTimeout: cfg.QueryTimeout,
+		Recorder:     rec,
+		Source:       ing,
+	})
+	return &Engine{net: net, photos: photos, dict: photos.Dict(), exec: exec, rec: rec, ing: ing}, nil
+}
+
+// Live reports whether the engine accepts POI writes.
+func (e *Engine) Live() bool { return e.ing != nil }
+
+// AddPOIs appends POIs to the live engine's delta log and returns the
+// pending (not yet published) count. The call is a slice append under a
+// mutex — it never builds an index and is never blocked by one.
+func (e *Engine) AddPOIs(pois []POIInput) (pending int, err error) {
+	if e.ing == nil {
+		return 0, ErrNotLive
+	}
+	ds := make([]ingest.Delta, len(pois))
+	for i, p := range pois {
+		ds[i] = ingest.Delta{Loc: geo.Pt(p.X, p.Y), Keywords: p.Keywords, Weight: p.Weight}
+	}
+	return e.ing.AddBatch(ds), nil
+}
+
+// Publish folds the pending deltas into a fresh index epoch and installs
+// it; queries started after Publish returns see the new POIs. It returns
+// the installed epoch's sequence number and how many deltas were folded
+// (0 when nothing was pending).
+func (e *Engine) Publish() (epoch uint64, folded int, err error) {
+	if e.ing == nil {
+		return 0, 0, ErrNotLive
+	}
+	return e.ing.Publish()
+}
+
+// Compact folds the published deltas into the base corpus, installs the
+// compacted epoch (bit-identical answers to the epoch it replaces) and
+// retires the old one. With LiveConfig.SnapshotPath set the folded base
+// is also persisted as a .soi snapshot.
+func (e *Engine) Compact() (epoch uint64, folded int, err error) {
+	if e.ing == nil {
+		return 0, 0, ErrNotLive
+	}
+	return e.ing.Compact()
+}
+
+// Epoch returns the sequence number of the currently serving index epoch
+// (0 for engines without an ingest path; live epochs start at 1).
+func (e *Engine) Epoch() uint64 {
+	if e.ing == nil {
+		return 0
+	}
+	return e.ing.Current().Seq()
+}
+
+// IngestCounts returns the live corpus accounting: POIs in the compacted
+// base, published deltas awaiting compaction, and pending deltas
+// awaiting publish. Zeroes for non-live engines.
+func (e *Engine) IngestCounts() (base, published, pending int) {
+	if e.ing == nil {
+		return 0, 0, 0
+	}
+	return e.ing.Counts()
+}
+
+// IngestErr returns the last background publish/compaction failure of a
+// live engine, nil otherwise.
+func (e *Engine) IngestErr() error {
+	if e.ing == nil {
+		return nil
+	}
+	return e.ing.Err()
+}

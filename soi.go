@@ -32,6 +32,7 @@ import (
 	"repro/internal/diversify"
 	"repro/internal/engine"
 	"repro/internal/geo"
+	"repro/internal/ingest"
 	"repro/internal/network"
 	"repro/internal/photo"
 	"repro/internal/poi"
@@ -173,6 +174,12 @@ type Engine struct {
 	exec   *engine.Executor
 	rec    *stats.Recorder
 
+	// ing backs a live engine (NewLiveEngine): the write path that
+	// publishes immutable index epochs. index and pois are nil for live
+	// engines — the serving index is resolved per query via the epoch
+	// source.
+	ing *ingest.Ingestor
+
 	// mapping backs a snapshot-loaded engine (the index's slab aliases
 	// the mapped file); nil for engines built from in-memory data.
 	mapping io.Closer
@@ -278,14 +285,29 @@ func newEngineWithIndex(net *network.Network, pois *poi.Corpus, photos *photo.Co
 }
 
 // Warm precomputes the ε-dependent index structures so that subsequent
-// query latencies exclude one-time augmentation work.
-func (e *Engine) Warm(epsilon float64) { e.index.Warm(epsilon) }
+// query latencies exclude one-time augmentation work. For a live engine
+// it warms the currently serving epoch.
+func (e *Engine) Warm(epsilon float64) {
+	if e.ing != nil {
+		e.ing.Current().Index().Warm(epsilon)
+		return
+	}
+	e.index.Warm(epsilon)
+}
 
 // NumStreets returns the number of streets in the network.
 func (e *Engine) NumStreets() int { return e.net.NumStreets() }
 
-// NumPOIs returns the number of indexed POIs.
-func (e *Engine) NumPOIs() int { return e.pois.Len() }
+// NumPOIs returns the number of indexed POIs: for a live engine, the
+// POIs served by the current epoch (base plus published deltas; pending
+// deltas are not yet indexed).
+func (e *Engine) NumPOIs() int {
+	if e.ing != nil {
+		base, published, _ := e.ing.Counts()
+		return base + published
+	}
+	return e.pois.Len()
+}
 
 // NumPhotos returns the number of indexed photos.
 func (e *Engine) NumPhotos() int { return e.photos.Len() }
@@ -319,6 +341,9 @@ type QueryTrace struct {
 	// Cached reports whether the answer was served without evaluation
 	// (LRU result cache or an identical in-flight query).
 	Cached bool `json:"cached"`
+	// Epoch is the index epoch the answer was evaluated against (0 for
+	// engines without a live ingest path; live epochs start at 1).
+	Epoch uint64 `json:"epoch"`
 	// Phase wall times in microseconds (Figure 4's breakdown).
 	BuildListsMicros int64 `json:"build_lists_us"`
 	FilterMicros     int64 `json:"filter_us"`
@@ -355,6 +380,7 @@ func traceOf(res engine.Result) QueryTrace {
 	s := res.Stats
 	return QueryTrace{
 		Cached:            res.Cached,
+		Epoch:             res.Epoch,
 		BuildListsMicros:  s.BuildListsTime.Microseconds(),
 		FilterMicros:      s.FilterTime.Microseconds(),
 		RefineMicros:      s.RefineTime.Microseconds(),
