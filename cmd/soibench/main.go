@@ -27,6 +27,14 @@
 //	soibench -json BENCH_2.json -shards 4 -queries 150
 //	soibench -json BENCH_2.json -shards 4 -tenants 3 -scale 0.1
 //
+// Benchmark the cross-process scatter-gather path: the same workload
+// gathered by the fault-tolerant remote client from shards behind real
+// loopback HTTP servers (bit-identity and zero degradation verified
+// before timing; the client's retry/hedge/breaker counters land in the
+// artifact):
+//
+//	soibench -json BENCH_3.json -shards 4 -remote -queries 60 -scale 0.02
+//
 // Benchmark the epoch-based ingest path: the same read workload
 // quiescent and then live, while a writer streams POIs and publishes an
 // epoch per batch:
@@ -70,6 +78,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "run the slab-vs-map layout benchmark and write a schema-validated BENCH artifact to this file, then exit")
 		shards   = flag.Int("shards", 0, "with -json: benchmark the sharded scatter-gather coordinator at this shard count (≥ 2) against the single slab index")
 		tenantsN = flag.Int("tenants", 1, "with -shards: interleave this many per-tenant seeded workloads round-robin (multi-tenant arrival order)")
+		remoteB  = flag.Bool("remote", false, "with -json and -shards: benchmark the cross-process scatter-gather path (shards behind loopback HTTP servers, gathered by the fault-tolerant remote client) against the single slab index")
 		ingestB  = flag.Bool("ingest", false, "with -json: run the mixed read/write ingest benchmark (quiescent vs live reads while a writer publishes epochs)")
 		writesN  = flag.Int("writes", 2000, "with -ingest: POIs the writer streams during the mixed pass")
 		writeBat = flag.Int("write-batch", 100, "with -ingest: POIs appended per publish")
@@ -93,6 +102,19 @@ func main() {
 		}
 	}
 
+	if *remoteB {
+		switch {
+		case *jsonOut == "":
+			log.Fatalf("-remote requires -json OUT: the remote benchmark only emits the BENCH artifact")
+		case *shards < 2:
+			log.Fatalf("-remote needs -shards ≥ 2 to partition the world, got %d", *shards)
+		case *tenantsN != 1:
+			log.Fatalf("-remote is mutually exclusive with -tenants")
+		case *ingestB:
+			log.Fatalf("-remote is mutually exclusive with -ingest")
+		}
+	}
+
 	if *ingestB {
 		switch {
 		case *jsonOut == "":
@@ -112,6 +134,12 @@ func main() {
 		}
 		if *ingestB {
 			if err := runIngestBench(*cities, *scale, *queries, *seed, *writesN, *writeBat, *jsonOut); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		if *remoteB {
+			if err := runRemoteBench(*cities, *scale, *queries, *seed, *shards, *jsonOut); err != nil {
 				log.Fatal(err)
 			}
 			return

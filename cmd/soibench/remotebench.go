@@ -1,0 +1,217 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/remote"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// runRemoteBench measures the identical query workload on a single slab
+// index and on the cross-process scatter-gather path: every shard of the
+// partition served by a loopback HTTP server, gathered through the
+// fault-tolerant remote client. Before timing it verifies the remote
+// answers are bit-identical to the single index and that no gather
+// degraded — loopback is healthy, so any retry or partial answer means
+// the harness itself is broken and the artifact must not be written.
+// The client's fault-tolerance counters over the measured workload land
+// in the artifact next to the throughput numbers: a clean run documents
+// attempts == calls, making any environmental noise visible in trend
+// tracking.
+func runRemoteBench(cities string, scale float64, queries int, seed int64, shards int, outPath string) error {
+	out := os.Stdout
+	start := time.Now()
+	fmt.Fprintf(out, "Loading cities (scale %g)...\n", scale)
+	citiesList, err := loadSelected(cities, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Loaded %d cities in %v.\n", len(citiesList), time.Since(start).Round(time.Millisecond))
+
+	workload := shardWorkload(queries, seed, 1)
+	halo := 0.0
+	for _, q := range workload {
+		halo = math.Max(halo, q.Epsilon)
+	}
+	fmt.Fprintf(out, "Workload: %d queries, seed %d, %d shards over loopback HTTP, halo %g.\n\n",
+		len(workload), seed, shards, halo)
+
+	report := benchfmt.Report{
+		SchemaVersion: benchfmt.SchemaVersion,
+		Bench:         "remote-scatter-gather",
+		GoVersion:     runtime.Version(),
+		Scale:         scale,
+		Seed:          seed,
+		Queries:       len(workload),
+		Shards:        shards,
+	}
+	ctx := context.Background()
+	for _, c := range citiesList {
+		w, err := benchRemoteCity(ctx, c, workload, shards, halo)
+		if err != nil {
+			return err
+		}
+		report.Worlds = append(report.Worlds, *w)
+		fmt.Fprintf(out, "%-12s single %9.0f ns/q | remote %9.0f ns/q (%d calls, %d attempts, %d retries) | %5.3fx\n",
+			c.Name(), w.Single.NsPerQuery, w.Remote.NsPerQuery,
+			w.RemoteNet.Calls, w.RemoteNet.Attempts, w.RemoteNet.Retries, w.Speedup)
+	}
+
+	if err := report.WriteFile(outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nWrote %s (schema v%d). Done in %v.\n", outPath, benchfmt.SchemaVersion, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// benchRemoteCity runs the equivalence gate and both timed passes for one
+// city, bringing the shard servers up and down around them.
+func benchRemoteCity(ctx context.Context, c *experiments.City, workload []core.Query, shards int, halo float64) (*benchfmt.World, error) {
+	net, pois := c.Dataset.Network, c.Dataset.POIs
+	single, err := core.NewSlabIndex(net, pois, core.IndexConfig{CellSize: experiments.Epsilon})
+	if err != nil {
+		return nil, fmt.Errorf("building single index for %s: %w", c.Name(), err)
+	}
+	world, err := shard.Partition(net, pois, shard.Config{
+		Tiles:    shards,
+		Halo:     halo,
+		CellSize: experiments.Epsilon,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("partitioning %s into %d shards: %w", c.Name(), shards, err)
+	}
+	servers := make([]*httptest.Server, len(world.Shards))
+	addrs := make([][]string, len(world.Shards))
+	for i, s := range world.Shards {
+		hs := httptest.NewServer(remote.NewServer(remote.ShardData{
+			ShardID:  s.ID,
+			Shards:   len(world.Shards),
+			TileX:    s.TileX,
+			TileY:    s.TileY,
+			Halo:     world.Halo,
+			CellSize: world.CellSize,
+			Index:    s.Index,
+			Streets:  s.Streets,
+			Segments: s.Segments,
+		}, remote.ServerConfig{}))
+		defer hs.Close()
+		servers[i] = hs
+		addrs[i] = []string{hs.URL}
+	}
+	rec := stats.NewRecorder()
+	client, err := remote.NewClient(remote.Config{
+		Addrs:    addrs,
+		Recorder: rec,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("remote client for %s: %w", c.Name(), err)
+	}
+	defer client.Close()
+	coord := shard.NewRemoteCoordinator(client, world.Halo)
+
+	eps := map[float64]bool{}
+	for _, q := range workload {
+		if !eps[q.Epsilon] {
+			single.Warm(q.Epsilon)
+			for _, s := range world.Shards {
+				s.Index.Warm(q.Epsilon)
+			}
+			eps[q.Epsilon] = true
+		}
+	}
+
+	// Equivalence gate: the remote path must be bit-identical to the
+	// single index and never degrade before any timing starts.
+	var total shard.GatherStats
+	for qi, q := range workload {
+		want, _, err := single.SOI(q)
+		if err != nil {
+			return nil, fmt.Errorf("single index on %s query %d: %w", c.Name(), qi, err)
+		}
+		got, gs, err := coord.TopK(ctx, q, false)
+		if err != nil {
+			return nil, fmt.Errorf("remote coordinator on %s query %d: %w", c.Name(), qi, err)
+		}
+		if gs.Degraded {
+			return nil, fmt.Errorf("remote gather degraded over healthy loopback shards on %s query %d (missing %v)", c.Name(), qi, gs.MissingShards)
+		}
+		if d := diffShardResults(got, want); d != "" {
+			return nil, fmt.Errorf("remote answer diverged from single index on %s query %d: %s", c.Name(), qi, d)
+		}
+		total.ShardsTotal += gs.ShardsTotal
+		total.ShardsEvaluated += gs.ShardsEvaluated
+		total.ShardsPruned += gs.ShardsPruned
+	}
+
+	results := make([]core.StreetResult, 0, 64)
+	singleMetrics, err := measure(len(workload), func() error {
+		for _, q := range workload {
+			var err error
+			if results, _, err = single.SOIInto(ctx, q, nil, results[:0]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("single layout on %s: %w", c.Name(), err)
+	}
+	// Snapshot the counters around the timed remote pass only, so the
+	// artifact's network block describes exactly the measured workload.
+	before := rec.Snapshot().Remote
+	remoteMetrics, err := measure(len(workload), func() error {
+		for _, q := range workload {
+			if _, gs, err := coord.TopK(ctx, q, false); err != nil {
+				return err
+			} else if gs.Degraded {
+				return fmt.Errorf("degraded gather during timing (missing %v)", gs.MissingShards)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("remote layout on %s: %w", c.Name(), err)
+	}
+	after := rec.Snapshot().Remote
+
+	st := net.Stats()
+	w := benchfmt.World{
+		Name:     c.Name(),
+		Streets:  st.NumStreets,
+		Segments: st.NumSegments,
+		POIs:     pois.Len(),
+		Single:   &singleMetrics,
+		Remote:   &remoteMetrics,
+		RemoteNet: &benchfmt.RemoteNetBench{
+			Calls:         after.Calls - before.Calls,
+			Attempts:      after.Attempts - before.Attempts,
+			Retries:       after.Retries - before.Retries,
+			HedgesStarted: after.HedgesStarted - before.HedgesStarted,
+			BreakerOpens:  after.BreakerOpens - before.BreakerOpens,
+			Errors:        after.Errors - before.Errors,
+			Degraded:      after.Degraded - before.Degraded,
+		},
+		ShardsTotal:     total.ShardsTotal,
+		ShardsEvaluated: total.ShardsEvaluated,
+		ShardsPruned:    total.ShardsPruned,
+	}
+	if remoteMetrics.NsPerQuery > 0 {
+		w.Speedup = singleMetrics.NsPerQuery / remoteMetrics.NsPerQuery
+	}
+	if remoteMetrics.AllocsPerQuery > 0 {
+		w.AllocReduction = singleMetrics.AllocsPerQuery / remoteMetrics.AllocsPerQuery
+	} else {
+		w.AllocReduction = singleMetrics.AllocsPerQuery
+	}
+	return &w, nil
+}

@@ -16,6 +16,13 @@
 //	soicheck -seeds 0:200 -quick            # PR smoke slice
 //	soicheck -seeds 0:500 -out ./repros     # nightly full matrix
 //	soicheck -seeds 0:50 -interleaved       # live-ingest interleaved matrix
+//	soicheck -seeds 0:50 -quick -remote     # + cross-process remote matrix
+//
+// With -remote each differential world additionally runs the
+// cross-process scatter-gather comparison: every shard of the partition
+// is served by a real loopback HTTP server and gathered through the
+// fault-tolerant remote client, which must stay bit-identical to the
+// brute-force oracle at every tile count.
 //
 // With -interleaved each seed instead runs the interleaved differential
 // mode: a writer streams half the world's POIs through the epoch-based
@@ -62,6 +69,7 @@ func run(args []string, out io.Writer) int {
 		noShrink = fs.Bool("noshrink", false, "report divergences without shrinking a repro")
 		budget   = fs.Int("shrink-budget", oracle.DefaultShrinkChecks, "max predicate evaluations per shrink")
 		interl   = fs.Bool("interleaved", false, "run the interleaved live-ingest differential mode instead of the static matrix")
+		remoteM  = fs.Bool("remote", false, "additionally cross-check the cross-process scatter-gather path (each shard behind a real loopback HTTP server)")
 		rounds   = fs.Int("rounds", 0, "with -interleaved: publish rounds per seed (0 = default)")
 		qworkers = fs.Int("query-workers", 0, "with -interleaved: concurrent query goroutines per seed (0 = default)")
 	)
@@ -105,7 +113,7 @@ func run(args []string, out io.Writer) int {
 						})
 						checked = rep.Answers
 					} else {
-						divs, err = oracle.CheckConfig(cfg, oracle.Options{})
+						divs, err = oracle.CheckConfig(cfg, oracle.Options{Remote: *remoteM})
 					}
 					mu.Lock()
 					configs++
@@ -219,11 +227,18 @@ func reproPredicate(cfg oracle.SeedConfig, div oracle.Divergence) oracle.Predica
 			SkipEngine:  !strings.HasPrefix(div.Impl, "engine/"),
 			SkipDynamic: !strings.HasPrefix(div.Impl, "dynamic/"),
 			SkipShards:  !strings.HasPrefix(div.Impl, "shard/"),
+			Remote:      strings.HasPrefix(div.Impl, "remote/"),
 			CellSizes:   cellFocus(div),
 		}
 		if strings.HasPrefix(div.Impl, "shard/") {
 			var tiles int
 			if _, err := fmt.Sscanf(div.Impl, "shard/%d", &tiles); err == nil && tiles > 0 {
+				opt.ShardCounts = []int{tiles}
+			}
+		}
+		if strings.HasPrefix(div.Impl, "remote/") {
+			var tiles int
+			if _, err := fmt.Sscanf(div.Impl, "remote/%d", &tiles); err == nil && tiles > 0 {
 				opt.ShardCounts = []int{tiles}
 			}
 		}

@@ -46,7 +46,10 @@ import (
 	soi "repro"
 	"repro/internal/datagen"
 	"repro/internal/dataio"
+	"repro/internal/remote"
 	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -74,6 +77,15 @@ func main() {
 		tenants        = flag.String("tenants", "", "serve every *.soi snapshot in this directory multi-tenant under /api/{city}/...")
 		maxTenants     = flag.Int("max-tenants", server.DefaultMaxOpenTenants, "max snapshot engines resident at once with -tenants (LRU eviction)")
 		tenantInflight = flag.Int("tenant-inflight", server.DefaultTenantInflight, "per-tenant admission quota with -tenants (503 over quota)")
+
+		shardAddrs     = flag.String("shard-addrs", "", "serve by remote scatter-gather over soishard processes: per-shard replica address lists, shards separated by ';', replicas by ',' (e.g. \"host:9100,host:9200;host:9101\")")
+		shardManifest  = flag.String("shard-manifest", "", "with -shard-addrs, the partition manifest (pins the ε ceiling and shard count without network round trips)")
+		replicas       = flag.Int("replicas", 0, "with -shard-addrs, require exactly this many replica addresses per shard (0 = any)")
+		attemptTimeout = flag.Duration("shard-attempt-timeout", 0, "with -shard-addrs, per-attempt timeout against one replica (0 = default)")
+		shardRetries   = flag.Int("shard-retries", 0, "with -shard-addrs, retry rounds per shard call (0 = default)")
+		hedgeDelay     = flag.Duration("hedge-delay", 0, "with -shard-addrs, fixed hedged-request delay (0 = adaptive p95)")
+		breakerFails   = flag.Int("breaker-failures", 0, "with -shard-addrs, consecutive failures tripping a replica breaker (0 = default, negative disables)")
+		breakerOpen    = flag.Duration("breaker-open", 0, "with -shard-addrs, how long a tripped breaker rejects before a half-open probe (0 = default)")
 	)
 	flag.Parse()
 
@@ -86,6 +98,31 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *shardAddrs != "" {
+		if *city != "" || *dataDir != "" || *indexPath != "" || *tenants != "" || *live {
+			log.Fatal("-shard-addrs is mutually exclusive with -city, -data, -index, -tenants and -live")
+		}
+		handler, closeClient, err := buildRemoteHandler(ctx, remoteOptions{
+			addrs:          *shardAddrs,
+			manifest:       *shardManifest,
+			replicas:       *replicas,
+			attemptTimeout: *attemptTimeout,
+			retries:        *shardRetries,
+			hedgeDelay:     *hedgeDelay,
+			breakerFails:   *breakerFails,
+			breakerOpen:    *breakerOpen,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := serve(ctx, *addr, handler, *shutdownGrace); err != nil {
+			log.Fatal(err)
+		}
+		closeClient()
+		log.Printf("shutdown complete")
+		return
+	}
 
 	if *tenants != "" {
 		if *city != "" || *dataDir != "" || *indexPath != "" {
@@ -278,4 +315,86 @@ func loadEngine(dir string, cfg soi.Config) (*soi.Engine, error) {
 // newHandler wires the HTTP routes (internal/server).
 func newHandler(eng *soi.Engine, maxBatchBytes int64) http.Handler {
 	return server.NewWithConfig(eng, server.Config{MaxBatchBytes: maxBatchBytes})
+}
+
+// remoteOptions groups the -shard-addrs mode's knobs.
+type remoteOptions struct {
+	addrs          string
+	manifest       string
+	replicas       int
+	attemptTimeout time.Duration
+	retries        int
+	hedgeDelay     time.Duration
+	breakerFails   int
+	breakerOpen    time.Duration
+}
+
+// buildRemoteHandler wires the remote scatter-gather serving mode: a
+// fault-tolerant shard client, a remote coordinator, and the HTTP
+// handler set. With a manifest the shard count and ε ceiling come from
+// disk; otherwise they are fetched from shard 0's /shard/meta. Either
+// way every shard's metadata is cross-checked against its address so a
+// swapped address list fails at startup, not at query time.
+func buildRemoteHandler(ctx context.Context, opt remoteOptions) (http.Handler, func(), error) {
+	addrs, err := remote.ParseAddrs(opt.addrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opt.replicas > 0 {
+		for i, reps := range addrs {
+			if len(reps) != opt.replicas {
+				return nil, nil, fmt.Errorf("shard %d has %d replica addresses, -replicas requires %d", i, len(reps), opt.replicas)
+			}
+		}
+	}
+	var halo float64
+	if opt.manifest != "" {
+		m, err := shard.LoadManifest(opt.manifest)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(m.Shards) != len(addrs) {
+			return nil, nil, fmt.Errorf("manifest has %d shards, -shard-addrs lists %d", len(m.Shards), len(addrs))
+		}
+		halo = m.Halo
+	}
+	rec := stats.NewRecorder()
+	client, err := remote.NewClient(remote.Config{
+		Addrs:          addrs,
+		AttemptTimeout: opt.attemptTimeout,
+		MaxAttempts:    opt.retries,
+		HedgeDelay:     opt.hedgeDelay,
+		Breaker:        remote.BreakerConfig{Failures: opt.breakerFails, OpenFor: opt.breakerOpen},
+		Recorder:       rec,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range addrs {
+		m, err := client.Meta(ctx, i)
+		if err != nil {
+			// A shard being down at startup is an availability fault, not a
+			// config error: serve anyway and let the breaker/degradation
+			// machinery handle it.
+			log.Printf("shard %d meta unavailable at startup: %v", i, err)
+			continue
+		}
+		if m.Shard != i {
+			return nil, nil, fmt.Errorf("address list position %d serves shard %d (swapped -shard-addrs?)", i, m.Shard)
+		}
+		if m.Shards != len(addrs) {
+			return nil, nil, fmt.Errorf("shard %d belongs to a %d-shard world, -shard-addrs lists %d", i, m.Shards, len(addrs))
+		}
+		if halo == 0 {
+			halo = m.Halo
+		}
+	}
+	coord := shard.NewRemoteCoordinator(client, halo)
+	log.Printf("serving remote scatter-gather over %d shards (halo %v)", len(addrs), halo)
+	handler := server.NewRemoteServer(server.RemoteConfig{
+		Coordinator: coord,
+		Recorder:    rec,
+		Breakers:    client.BreakerStates,
+	})
+	return handler, client.Close, nil
 }

@@ -18,9 +18,11 @@ import (
 // SchemaVersion is the current artifact schema version; bump it together
 // with schema.json whenever the layout changes. Version 2 added the
 // sharded scatter-gather comparison (single/sharded metrics and shard
-// pruning counters); version-1 artifacts remain valid — the per-layout
-// metric blocks are all optional.
-const SchemaVersion = 2
+// pruning counters); version 3 adds the cross-process remote comparison
+// (remote metrics plus the client's retry/hedge/breaker counters).
+// Older artifacts remain valid — the per-layout metric blocks are all
+// optional.
+const SchemaVersion = 3
 
 // SchemaJSON is the committed JSON Schema the artifacts conform to.
 //
@@ -65,6 +67,14 @@ type World struct {
 	// remain valid.
 	Live   *Metrics     `json:"live,omitempty"`
 	Ingest *IngestBench `json:"ingest,omitempty"`
+	// Remote measures the same workload through the cross-process
+	// scatter-gather path: every shard behind a loopback HTTP server,
+	// gathered by the fault-tolerant remote client (remote benchmark;
+	// the in-process baseline is in Single). RemoteNet carries the
+	// client's fault-tolerance counters over the measured workload.
+	// Both are schema-version-3 additions; older artifacts stay valid.
+	Remote    *Metrics        `json:"remote,omitempty"`
+	RemoteNet *RemoteNetBench `json:"remote_net,omitempty"`
 	// Shard early-termination counters summed over the sharded
 	// workload (sharded benchmark only).
 	ShardsTotal     int `json:"shards_total,omitempty"`
@@ -94,6 +104,30 @@ type IngestBench struct {
 	WriteQPS float64 `json:"write_qps"`
 	// PublishMsMean is the mean wall time of one publish in milliseconds.
 	PublishMsMean float64 `json:"publish_ms_mean"`
+}
+
+// RemoteNetBench summarizes the remote client's fault-tolerance
+// machinery over the measured workload: how many logical calls it made,
+// how many HTTP attempts they expanded into, and how often the retry,
+// hedge and circuit-breaker paths fired. A clean loopback run shows
+// attempts == calls + hedges_started and zero retries, errors and
+// degraded gathers; anything else flags an unhealthy measurement
+// environment.
+type RemoteNetBench struct {
+	// Calls is the number of logical shard calls (bounds + queries).
+	Calls int64 `json:"calls"`
+	// Attempts is the number of HTTP attempts those calls expanded into.
+	Attempts int64 `json:"attempts"`
+	// Retries counts re-attempts after a failed round.
+	Retries int64 `json:"retries"`
+	// HedgesStarted counts speculative duplicate attempts launched.
+	HedgesStarted int64 `json:"hedges_started"`
+	// BreakerOpens counts circuit-breaker trips.
+	BreakerOpens int64 `json:"breaker_opens"`
+	// Errors counts calls that exhausted every recovery path.
+	Errors int64 `json:"errors"`
+	// Degraded counts gathers that returned a partial answer.
+	Degraded int64 `json:"degraded"`
 }
 
 // Report is one BENCH_*.json document.

@@ -47,10 +47,32 @@ func sampleShardedReport() *Report {
 	}
 }
 
+func sampleRemoteReport() *Report {
+	single := Metrics{QPS: 9000, NsPerQuery: 110000, AllocsPerQuery: 12, BytesPerQuery: 900}
+	rem := Metrics{QPS: 800, NsPerQuery: 1250000, AllocsPerQuery: 900, BytesPerQuery: 91000}
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Bench:         "remote-scatter-gather",
+		GoVersion:     "go1.24.0",
+		Scale:         0.25,
+		Seed:          1,
+		Queries:       150,
+		Shards:        4,
+		Worlds: []World{{
+			Name: "London", Streets: 1200, Segments: 5400, POIs: 80000,
+			Single: &single, Remote: &rem,
+			RemoteNet:   &RemoteNetBench{Calls: 1200, Attempts: 1203, Retries: 3},
+			ShardsTotal: 600, ShardsEvaluated: 410, ShardsPruned: 190,
+			Speedup: 0.09, AllocReduction: 0.013,
+		}},
+	}
+}
+
 func TestReportRoundTrip(t *testing.T) {
 	for name, r := range map[string]*Report{
 		"slab-vs-map": sampleReport(),
 		"sharded":     sampleShardedReport(),
+		"remote":      sampleRemoteReport(),
 	} {
 		buf, err := r.Encode()
 		if err != nil {
@@ -108,6 +130,21 @@ func TestSchemaRejects(t *testing.T) {
 		"metrics extra field": mutate(func(m map[string]any) {
 			world(m)["map"].(map[string]any)["p99"] = 1.0
 		}),
+		"remote not metrics": mutate(func(m map[string]any) {
+			world(m)["remote"] = 3.0
+		}),
+		"remote_net sans calls": mutate(func(m map[string]any) {
+			world(m)["remote_net"] = map[string]any{
+				"attempts": 1.0, "retries": 0.0, "hedges_started": 0.0,
+				"breaker_opens": 0.0, "errors": 0.0, "degraded": 0.0,
+			}
+		}),
+		"remote_net extra field": mutate(func(m map[string]any) {
+			world(m)["remote_net"] = map[string]any{
+				"calls": 1.0, "attempts": 1.0, "retries": 0.0, "hedges_started": 0.0,
+				"breaker_opens": 0.0, "errors": 0.0, "degraded": 0.0, "p99": 1.0,
+			}
+		}),
 	}
 	for name, data := range cases {
 		if err := Validate(data); err == nil {
@@ -143,7 +180,7 @@ func TestCommittedArtifactsConform(t *testing.T) {
 			t.Errorf("%s: schema_version %d outside [1, %d]", filepath.Base(p), r.SchemaVersion, SchemaVersion)
 		}
 		switch r.Bench {
-		case "slab-vs-map", "sharded-scatter-gather":
+		case "slab-vs-map", "sharded-scatter-gather", "remote-scatter-gather":
 		default:
 			t.Errorf("%s: unknown bench %q", filepath.Base(p), r.Bench)
 		}

@@ -42,6 +42,12 @@ type Fault struct {
 	Panic bool
 	// PanicValue is the value passed to panic when Panic is set.
 	PanicValue any
+	// Err makes InjectCtx return this error after Delay and Block have
+	// run — the "drop" mode: a site that models a network operation
+	// (dial, send, receive) propagates it exactly like a refused
+	// connection or a reset stream, and a serving site can map it to a
+	// 5xx response. Inject, which has no error channel, ignores it.
+	Err error
 	// After skips the first After visits before the fault fires.
 	After int
 	// Times bounds how many visits fire the fault; 0 means every visit
@@ -158,8 +164,10 @@ func Inject(name string) {
 // InjectCtx is Inject for sites with a context in scope: delays and
 // blocks end early when the context is done, and the context error is
 // returned so the site can propagate cancellation the same way a real
-// slow operation would. A nil error means the visit completed (or
-// nothing was armed).
+// slow operation would. A fault with Err set returns that error after
+// its delay/block phases, modelling dropped connections and injected
+// server faults. A nil error means the visit completed (or nothing was
+// armed).
 func InjectCtx(ctx context.Context, name string) error {
 	if armed.Load() == 0 {
 		return nil
@@ -187,7 +195,7 @@ func InjectCtx(ctx context.Context, name string) error {
 	if f.Panic {
 		panicWith(f)
 	}
-	return nil
+	return f.Err
 }
 
 func panicWith(f Fault) {

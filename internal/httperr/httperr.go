@@ -1,0 +1,72 @@
+// Package httperr is the single source of truth for mapping query-path
+// errors to HTTP statuses. Every serving surface — /api/streets, the
+// batch endpoint, the multi-tenant router (which forwards into the same
+// handlers), the per-shard soishard endpoint and the remote
+// scatter-gather path — routes its errors through Status, so the same
+// failure always wears the same status code:
+//
+//	overload / shed / shards exhausted  → 503 (+ Retry-After)
+//	client went away                    → 499 (accounting only)
+//	deadline expired                    → 504
+//	recovered panic, internal cancel    → 500
+//	bad query                           → 400
+//
+// The distinction between 499 and 500 for context.Canceled is the
+// subtle one this mapper exists to pin down: cancellation is only the
+// client's fault when the *request's* context is the one that died.
+// An evaluation cancelled for any other reason (an internal component
+// gave up, a coordinator pruned a speculative call it then needed
+// after all) is a server fault and must read as one in the access
+// logs, not as a 400 "bad request".
+package httperr
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"repro/internal/engine"
+)
+
+// StatusClientClosedRequest is the nginx-convention 499 status recorded
+// when the client cancelled the request before the answer was ready. No
+// client sees it (the connection is gone); it keeps access accounting
+// honest.
+const StatusClientClosedRequest = 499
+
+// Statuser lets error types outside this package's import reach carry
+// their own status (e.g. the remote coordinator's shards-unavailable
+// error maps itself to 503). It is consulted before the generic rules.
+type Statuser interface {
+	HTTPStatus() int
+}
+
+// Status maps a query-path error to its HTTP status. clientGone reports
+// whether the *request's* context was cancelled (r.Context().Err() !=
+// nil), which decides between 499 (client went away) and 500 (internal
+// cancellation). The second return value reports whether the response
+// should carry a Retry-After hint (overload-class statuses).
+func Status(err error, clientGone bool) (status int, retryAfter bool) {
+	var st Statuser
+	var pe *engine.PanicError
+	switch {
+	case errors.As(err, &st):
+		s := st.HTTPStatus()
+		return s, s == http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrOverloaded):
+		return http.StatusServiceUnavailable, true
+	case errors.Is(err, context.Canceled):
+		if clientGone {
+			return StatusClientClosedRequest, false
+		}
+		// Cancelled but not by the client: an internal component gave
+		// up. That is a server fault, not a malformed query.
+		return http.StatusInternalServerError, false
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, false
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError, false
+	default:
+		return http.StatusBadRequest, false
+	}
+}

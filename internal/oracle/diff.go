@@ -59,6 +59,12 @@ type Options struct {
 	// ShardCounts are the tile counts swept by the sharded comparison.
 	// Empty means DefaultShardCounts (2, 4, 9).
 	ShardCounts []int
+	// Remote additionally runs the cross-process scatter-gather
+	// comparison: every shard served over real loopback HTTP, queried
+	// through the fault-tolerant remote client. Opt-in — each query
+	// crosses the wire per shard, so the sweep is markedly slower than
+	// the in-process matrix.
+	Remote bool
 }
 
 // DefaultCellSizes are the index cell sizes swept when Options leaves
@@ -263,6 +269,14 @@ func DiffWorld(w World, queries []core.Query, opt Options) ([]Divergence, error)
 		// at every tile count, with the halo sized to the largest ε.
 		if !opt.SkipShards {
 			if err := diffShards(net, pois, queries, want, cell, opt, report); err != nil {
+				return nil, err
+			}
+		}
+
+		// Opt-in: the same comparison across process boundaries — every
+		// shard behind a real HTTP server, gathered by the remote client.
+		if opt.Remote {
+			if err := diffRemote(net, pois, queries, want, cell, opt, report); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,34 @@
+package remote
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseAddrs parses the -shard-addrs syntax: per-shard replica address
+// lists, shards separated by ';', replicas within a shard by ','.
+//
+//	"host:9100;host:9101"                   two shards, one replica each
+//	"host:9100,host:9200;host:9101"         shard 0 has a second replica
+//
+// Empty shard entries and empty replica entries are rejected: a silent
+// gap in the table would make a shard permanently unreachable.
+func ParseAddrs(s string) ([][]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("remote: empty shard address list")
+	}
+	var out [][]string
+	for i, group := range strings.Split(s, ";") {
+		var reps []string
+		for _, a := range strings.Split(group, ",") {
+			if t := strings.TrimSpace(a); t != "" {
+				reps = append(reps, t)
+			}
+		}
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("remote: shard %d has no replica addresses", i)
+		}
+		out = append(out, reps)
+	}
+	return out, nil
+}

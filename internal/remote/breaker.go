@@ -1,0 +1,161 @@
+package remote
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the per-replica circuit breakers.
+type BreakerConfig struct {
+	// Failures is the number of consecutive attempt failures that trips
+	// a replica's breaker open. 0 means DefaultBreakerFailures; negative
+	// disables breaking entirely.
+	Failures int
+	// OpenFor is how long a tripped breaker rejects attempts before
+	// moving to half-open and admitting a single readiness probe. 0
+	// means DefaultBreakerOpenFor.
+	OpenFor time.Duration
+}
+
+// DefaultBreakerFailures is the consecutive-failure trip threshold when
+// BreakerConfig leaves Failures zero.
+const DefaultBreakerFailures = 5
+
+// DefaultBreakerOpenFor is the open period when BreakerConfig leaves
+// OpenFor zero.
+const DefaultBreakerOpenFor = time.Second
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerVerdict is what acquire tells an attempt about one replica.
+type breakerVerdict int
+
+const (
+	// breakerAllow: the replica is believed healthy; send the attempt.
+	breakerAllow breakerVerdict = iota
+	// breakerProbe: the breaker is half-open and this caller won probe
+	// duty — check /readyz before the real request, and report the
+	// outcome so the breaker can close or re-open.
+	breakerProbe
+	// breakerDeny: the breaker is open (or another caller holds the
+	// half-open probe slot); skip this replica.
+	breakerDeny
+)
+
+// breaker is a per-replica circuit breaker with the classic three-state
+// lifecycle: closed (counting consecutive failures), open (rejecting
+// until a deadline), half-open (admitting exactly one probe whose
+// outcome decides between closing and re-opening). Time is passed in by
+// the caller so tests can drive transitions deterministically.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu      sync.Mutex
+	state   breakerState
+	fails   int
+	until   time.Time // when an open breaker moves to half-open
+	probing bool      // a half-open probe is in flight
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	if cfg.Failures == 0 {
+		cfg.Failures = DefaultBreakerFailures
+	}
+	if cfg.OpenFor == 0 {
+		cfg.OpenFor = DefaultBreakerOpenFor
+	}
+	return &breaker{cfg: cfg}
+}
+
+// acquire decides whether an attempt may use this replica now.
+func (b *breaker) acquire(now time.Time) breakerVerdict {
+	if b.cfg.Failures < 0 {
+		return breakerAllow
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return breakerAllow
+	case breakerOpen:
+		if now.Before(b.until) {
+			return breakerDeny
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return breakerProbe
+	default: // half-open
+		if b.probing {
+			return breakerDeny
+		}
+		b.probing = true
+		return breakerProbe
+	}
+}
+
+// onSuccess records a successful attempt (or probe): the replica is
+// healthy again, whatever state the breaker was in.
+func (b *breaker) onSuccess() {
+	if b.cfg.Failures < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// onFailure records a failed attempt. It returns true when this failure
+// tripped the breaker from closed (or half-open) to open — the
+// transition the soi_remote_breaker_opens counter tracks.
+func (b *breaker) onFailure(now time.Time) (opened bool) {
+	if b.cfg.Failures < 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: straight back to open for a fresh period.
+		b.state = breakerOpen
+		b.until = now.Add(b.cfg.OpenFor)
+		b.probing = false
+		return true
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Failures {
+			b.state = breakerOpen
+			b.until = now.Add(b.cfg.OpenFor)
+			return true
+		}
+	}
+	return false
+}
+
+// snapshotState reports the current state for observability ("closed",
+// "open", "half-open").
+func (b *breaker) snapshotState(now time.Time) string {
+	if b.cfg.Failures < 0 {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if now.Before(b.until) {
+			return "open"
+		}
+		return "half-open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

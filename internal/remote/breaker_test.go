@@ -1,0 +1,98 @@
+package remote
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the full closed → open → half-open →
+// closed cycle with an injected clock.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(BreakerConfig{Failures: 3, OpenFor: time.Second})
+
+	// Closed: attempts flow, sub-threshold failures keep it closed.
+	for i := 0; i < 2; i++ {
+		if v := b.acquire(now); v != breakerAllow {
+			t.Fatalf("closed acquire = %v, want allow", v)
+		}
+		if b.onFailure(now) {
+			t.Fatalf("failure %d tripped a threshold-3 breaker", i+1)
+		}
+	}
+	// A success resets the consecutive-failure count.
+	b.onSuccess()
+	for i := 0; i < 2; i++ {
+		if b.onFailure(now) {
+			t.Fatalf("failure %d after reset tripped the breaker", i+1)
+		}
+	}
+	// The third consecutive failure trips it.
+	if !b.onFailure(now) {
+		t.Fatal("threshold failure did not trip the breaker")
+	}
+	if got := b.snapshotState(now); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	// Open: denied until the deadline.
+	if v := b.acquire(now.Add(500 * time.Millisecond)); v != breakerDeny {
+		t.Fatalf("open acquire = %v, want deny", v)
+	}
+	// Past the deadline: half-open, exactly one probe slot.
+	later := now.Add(1100 * time.Millisecond)
+	if v := b.acquire(later); v != breakerProbe {
+		t.Fatalf("post-deadline acquire = %v, want probe", v)
+	}
+	if v := b.acquire(later); v != breakerDeny {
+		t.Fatalf("second half-open acquire = %v, want deny (probe slot taken)", v)
+	}
+	// Probe failure: straight back to open for a fresh period.
+	if !b.onFailure(later) {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if v := b.acquire(later.Add(500 * time.Millisecond)); v != breakerDeny {
+		t.Fatal("re-opened breaker admitted an attempt inside the open period")
+	}
+	// Next half-open probe succeeds: closed again, counters reset.
+	evenLater := later.Add(1100 * time.Millisecond)
+	if v := b.acquire(evenLater); v != breakerProbe {
+		t.Fatal("expected a probe after the second open period")
+	}
+	b.onSuccess()
+	if got := b.snapshotState(evenLater); got != "closed" {
+		t.Fatalf("state after successful probe = %q, want closed", got)
+	}
+	if v := b.acquire(evenLater); v != breakerAllow {
+		t.Fatal("closed breaker denied an attempt")
+	}
+	// Re-closed means a fresh failure budget.
+	if b.onFailure(evenLater) || b.onFailure(evenLater) {
+		t.Fatal("breaker re-tripped before a fresh consecutive-failure run")
+	}
+}
+
+// TestBreakerDisabled: negative Failures must disable breaking.
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(BreakerConfig{Failures: -1})
+	now := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		if b.onFailure(now) {
+			t.Fatal("disabled breaker tripped")
+		}
+	}
+	if v := b.acquire(now); v != breakerAllow {
+		t.Fatalf("disabled breaker acquire = %v, want allow", v)
+	}
+	if got := b.snapshotState(now); got != "disabled" {
+		t.Fatalf("state = %q, want disabled", got)
+	}
+}
+
+// TestBreakerDefaults: the zero config resolves to the documented
+// defaults.
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(BreakerConfig{})
+	if b.cfg.Failures != DefaultBreakerFailures || b.cfg.OpenFor != DefaultBreakerOpenFor {
+		t.Errorf("defaults = %+v", b.cfg)
+	}
+}

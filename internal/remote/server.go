@@ -1,0 +1,194 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/httperr"
+)
+
+// DefaultMaxBodyBytes caps the /shard/query request body when
+// ServerConfig leaves MaxBodyBytes zero.
+const DefaultMaxBodyBytes = 1 << 20
+
+// ServerConfig tunes one shard server.
+type ServerConfig struct {
+	// Engine configures the admission/timeout stack every /shard/query
+	// evaluation runs through: worker pool, bounded wait queue with load
+	// shedding, per-query deadline, result cache, recorder. The zero
+	// value serves with defaults (GOMAXPROCS workers, unbounded queue).
+	Engine engine.Config
+	// MaxBodyBytes caps the request body; 0 means DefaultMaxBodyBytes,
+	// negative disables the cap.
+	MaxBodyBytes int64
+}
+
+// Server answers per-shard k-SOI queries over HTTP — the process a
+// remote scatter-gather coordinator fans out to. Evaluations run
+// through an engine.Executor, so the shard inherits the whole
+// single-process robustness stack: bounded admission (503 +
+// Retry-After), per-query deadlines (504), cooperative cancellation
+// (499 accounting) and panic isolation (500). Results are mapped to
+// global street/segment ids before they leave the process.
+type Server struct {
+	d        ShardData
+	exec     *engine.Executor
+	mux      *http.ServeMux
+	maxBody  int64
+	draining atomic.Bool
+}
+
+// NewServer wires the handler set for one shard.
+func NewServer(d ShardData, cfg ServerConfig) *Server {
+	maxBody := cfg.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		d:       d,
+		exec:    engine.New(d.Index, cfg.Engine),
+		mux:     http.NewServeMux(),
+		maxBody: maxBody,
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/shard/meta", s.handleMeta)
+	s.mux.HandleFunc("/shard/query", s.handleQuery)
+	if rec := cfg.Engine.Recorder; rec != nil {
+		s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = rec.Snapshot().WritePrometheus(w)
+		})
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SetDraining flips the readiness signal: a draining server keeps
+// answering in-flight and new queries (graceful shutdown semantics) but
+// reports 503 on /readyz so load balancers and half-open breaker probes
+// steer new traffic away.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports the current drain flag.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+type errBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleHealthz is pure liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: the shard index is loaded and the server
+// is not draining. Half-open circuit breakers probe this endpoint
+// before re-admitting traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.d.Index == nil:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "index not loaded"})
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Meta{
+		Shard:    s.d.ShardID,
+		Shards:   s.d.Shards,
+		TileX:    s.d.TileX,
+		TileY:    s.d.TileY,
+		Halo:     s.d.Halo,
+		CellSize: s.d.CellSize,
+		Streets:  len(s.d.Streets),
+		Segments: len(s.d.Segments),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errBody{Error: "POST only"})
+		return
+	}
+	// The injected-5xx chaos mode: an Err fault at remote.serve makes
+	// this shard answer 500 without touching the index, a Delay/Block
+	// fault makes it slow or wedged (bounded by the client's context).
+	if err := faults.InjectCtx(r.Context(), SiteServe); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errBody{Error: err.Error()})
+		return
+	}
+	if s.maxBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errBody{Error: fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errBody{Error: "decoding request: " + err.Error()})
+		return
+	}
+	q := req.Query()
+	if err := q.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody{Error: err.Error()})
+		return
+	}
+	if s.d.Halo > 0 && q.Epsilon > s.d.Halo {
+		writeJSON(w, http.StatusBadRequest,
+			errBody{Error: fmt.Sprintf("remote: query epsilon %v exceeds partition halo %v", q.Epsilon, s.d.Halo)})
+		return
+	}
+	ub, err := s.d.Index.UnseenBound(q)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody{Error: err.Error()})
+		return
+	}
+	resp := QueryResponse{Shard: s.d.ShardID, UB: ub}
+	if req.BoundOnly {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	res := s.exec.DoCtx(r.Context(), q)
+	if res.Err != nil {
+		status, retry := httperr.Status(res.Err, r.Context().Err() != nil)
+		if retry {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, errBody{Error: res.Err.Error()})
+		return
+	}
+	// Map to global ids into a fresh slice: res.Streets may be shared
+	// with the executor's result cache and must stay untouched.
+	resp.Results = make([]core.StreetResult, len(res.Streets))
+	for i, sr := range res.Streets {
+		sr.Street = s.d.Streets[sr.Street]
+		sr.BestSegment = s.d.Segments[sr.BestSegment]
+		resp.Results[i] = sr
+	}
+	resp.Stats = res.Stats
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	soi "repro"
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// RemoteConfig wires a RemoteServer.
+type RemoteConfig struct {
+	// Coordinator is the remote scatter-gather coordinator (required).
+	Coordinator *shard.RemoteCoordinator
+	// Recorder, when non-nil, backs /metrics and the stats section of
+	// /api/stats, and receives the degradation counters
+	// (soi_remote_degraded, soi_remote_shards_missing).
+	Recorder *stats.Recorder
+	// Breakers, when non-nil, reports the per-replica breaker states
+	// surfaced in /api/stats (remote.Client.BreakerStates).
+	Breakers func() [][]string
+}
+
+// RemoteServer serves k-SOI queries over shards running in other
+// processes — the HTTP face of shard.RemoteCoordinator. The endpoint
+// contract mirrors the single-process /api/streets, with one addition:
+// availability is explicit. A query that cannot reach every shard it
+// needs answers 503 (Retry-After: 1) by default; with ?partial=1 the
+// client opts into graceful degradation and receives the merged top-k
+// of the shards that answered, tagged "degraded": true with the
+// "missing_shards" list. A non-degraded answer carries neither field
+// and is bit-identical to the single-process oracle.
+type RemoteServer struct {
+	coord    *shard.RemoteCoordinator
+	rec      *stats.Recorder
+	breakers func() [][]string
+	mux      *http.ServeMux
+}
+
+// NewRemoteServer wires the handler set around a remote coordinator.
+func NewRemoteServer(cfg RemoteConfig) *RemoteServer {
+	s := &RemoteServer{
+		coord:    cfg.Coordinator,
+		rec:      cfg.Recorder,
+		breakers: cfg.Breakers,
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleHealthz) // a coordinator holds no index: up == ready
+	s.mux.HandleFunc("/api/streets", s.handleStreets)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *RemoteServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *RemoteServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// remoteStreetsResponse extends the /api/streets payload with the
+// degradation tags. Both are omitted on clean answers, so a
+// non-degraded response is byte-identical in shape to the
+// single-process one.
+type remoteStreetsResponse struct {
+	Streets       []soi.Street `json:"streets"`
+	Degraded      bool         `json:"degraded,omitempty"`
+	MissingShards []int        `json:"missing_shards,omitempty"`
+}
+
+// partialWanted reports whether the request opted into degraded
+// answers.
+func partialWanted(r *http.Request) bool {
+	switch r.URL.Query().Get("partial") {
+	case "", "0", "false":
+		return false
+	}
+	return true
+}
+
+func (s *RemoteServer) handleStreets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	k, err := queryInt(r, "k", 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	eps, err := queryFloat(r, "eps", soi.DefaultCellSize)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q := core.Query{Keywords: queryKeywords(r), K: k, Epsilon: eps}
+	res, gather, err := s.coord.TopK(r.Context(), q, partialWanted(r))
+	if err != nil {
+		writeQueryError(w, r, err)
+		return
+	}
+	if gather.Degraded && s.rec != nil {
+		s.rec.Remote.Degraded.Add(1)
+		s.rec.Remote.ShardsMissing.Add(int64(len(gather.MissingShards)))
+	}
+	resp := remoteStreetsResponse{
+		Streets:       make([]soi.Street, len(res)),
+		Degraded:      gather.Degraded,
+		MissingShards: gather.MissingShards,
+	}
+	for i, sr := range res {
+		resp.Streets[i] = soi.Street{Name: sr.Name, Interest: sr.Interest, Mass: sr.Mass}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// remoteStatsResponse is the coordinator's /api/stats payload: the
+// shard fan-out shape, the live counters, and every replica breaker's
+// state.
+type remoteStatsResponse struct {
+	Shards   int             `json:"shards"`
+	Halo     float64         `json:"halo"`
+	Breakers [][]string      `json:"breakers,omitempty"`
+	Stats    *stats.Snapshot `json:"stats,omitempty"`
+	Runtime  runtimeSnapshot `json:"runtime"`
+}
+
+func (s *RemoteServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	resp := remoteStatsResponse{
+		Shards:  s.coord.ShardCount(),
+		Halo:    s.coord.Halo(),
+		Runtime: readRuntime(),
+	}
+	if s.breakers != nil {
+		resp.Breakers = s.breakers()
+	}
+	if s.rec != nil {
+		snap := s.rec.Snapshot()
+		resp.Stats = &snap
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *RemoteServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.rec != nil {
+		_ = s.rec.Snapshot().WritePrometheus(w)
+	}
+	rt := readRuntime()
+	fmt.Fprintf(w, "# TYPE soi_runtime_goroutines gauge\nsoi_runtime_goroutines %d\n", rt.Goroutines)
+	fmt.Fprintf(w, "# TYPE soi_remote_shards gauge\nsoi_remote_shards %s\n", strconv.Itoa(s.coord.ShardCount()))
+}

@@ -42,7 +42,6 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,16 +50,18 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	soi "repro"
+	"repro/internal/httperr"
 	"repro/internal/stats"
 )
 
 // StatusClientClosedRequest is the nginx-convention 499 status recorded
 // when the client cancelled the request before the answer was ready. No
 // client sees it (the connection is gone); it keeps access accounting
-// honest.
-const StatusClientClosedRequest = 499
+// honest. It is an alias of the shared mapper's constant.
+const StatusClientClosedRequest = httperr.StatusClientClosedRequest
 
 // DefaultMaxBatchBytes bounds the /api/streets/batch request body when
 // Config leaves MaxBatchBytes zero: 1 MiB fits the 1024-query batch
@@ -81,6 +82,7 @@ type Server struct {
 	engine        *soi.Engine
 	mux           *http.ServeMux
 	maxBatchBytes int64
+	draining      atomic.Bool
 }
 
 // New wires the handler set around an engine with default Config.
@@ -95,6 +97,8 @@ func NewWithConfig(engine *soi.Engine, cfg Config) *Server {
 		maxBatch = DefaultMaxBatchBytes
 	}
 	s := &Server{engine: engine, mux: http.NewServeMux(), maxBatchBytes: maxBatch}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/streets", s.handleStreets)
 	s.mux.HandleFunc("/api/streets/batch", s.handleStreetsBatch)
@@ -117,6 +121,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// SetDraining flips the readiness signal: a draining server keeps
+// answering in-flight and new requests (graceful shutdown semantics)
+// but reports 503 on /readyz so load balancers steer new traffic away.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports the current drain flag.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// handleHealthz is pure liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: the engine is loaded and the server is not
+// draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.engine == nil:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "engine not loaded"})
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
 // errorBody is the uniform JSON error payload.
 type errorBody struct {
 	Error string `json:"error"`
@@ -134,27 +164,19 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-// writeQueryError maps a query-path error to its robustness-aware
-// status: shed load → 503 with a Retry-After hint, an expired per-query
-// deadline → 504, a client that went away → 499 (accounting only; the
-// connection is gone), a recovered evaluation panic → 500, anything
-// else → 400.
+// writeQueryError maps a query-path error through the shared
+// internal/httperr mapper, so every serving surface — single-query,
+// batch, tenant-routed and remote alike — wears the same status for the
+// same failure: shed load → 503 with a Retry-After hint, an expired
+// per-query deadline → 504, a client that went away → 499 (accounting
+// only; the connection is gone), a recovered evaluation panic or an
+// internal cancellation → 500, anything else → 400.
 func writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
-	var pe *soi.PanicError
-	switch {
-	case errors.Is(err, soi.ErrOverloaded):
+	status, retry := httperr.Status(err, r.Context().Err() != nil)
+	if retry {
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
-		writeError(w, StatusClientClosedRequest, err)
-	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, err)
-	case errors.As(err, &pe):
-		// A recovered evaluation panic is a server fault, not a bad query.
-		writeError(w, http.StatusInternalServerError, err)
-	default:
-		writeError(w, http.StatusBadRequest, err)
 	}
+	writeError(w, status, err)
 }
 
 // queryFloat parses an optional float parameter with a default.

@@ -264,4 +264,18 @@ func (ts *TenantServer) release(t *tenant) {
 	if t.evicted && t.refs == 0 {
 		t.eng.Close()
 	}
+	// A burst can admit tenants over MaxOpen when every resident engine
+	// is mid-request; shrink back to the cap as requests drain, oldest
+	// idle engines first. Without this the over-cap set would persist
+	// until some non-resident tenant forces an eviction — forever, if
+	// every tenant is already resident.
+	for len(ts.open) > ts.cfg.MaxOpen {
+		lru := ts.lruLocked()
+		if lru == nil {
+			return // everything still busy; the next release retries
+		}
+		lru.evicted = true
+		delete(ts.open, lru.name)
+		lru.eng.Close() // lruLocked only returns tenants with refs == 0
+	}
 }

@@ -3,6 +3,7 @@ package shard
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -90,6 +91,67 @@ func WriteSnapshots(manifestPath string, w *World) error {
 		return err
 	}
 	return os.WriteFile(manifestPath, append(blob, '\n'), 0o644)
+}
+
+// LoadManifest parses a manifest without opening any shard snapshots —
+// what a coordinator serving over remote shards needs (bounds, halo,
+// shard count) and what cmd/soishard reads before loading its one
+// shard.
+func LoadManifest(manifestPath string) (*Manifest, error) {
+	blob, err := os.ReadFile(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("shard: parsing manifest %s: %w", manifestPath, err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("shard: manifest version %d, want %d", m.Version, ManifestVersion)
+	}
+	if len(m.Shards) == 0 {
+		return nil, fmt.Errorf("shard: manifest %s lists no shards", manifestPath)
+	}
+	return &m, nil
+}
+
+// LoadShard mmaps exactly one shard of a partitioned world — the
+// cross-process serving path, where each soishard process owns a single
+// tile. It returns the shard, the parsed manifest (for the
+// partition-level constants) and a closer releasing the mapping.
+func LoadShard(manifestPath string, id int) (*Shard, *Manifest, io.Closer, error) {
+	m, err := LoadManifest(manifestPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if id < 0 || id >= len(m.Shards) {
+		return nil, nil, nil, fmt.Errorf("shard: shard %d out of range [0,%d)", id, len(m.Shards))
+	}
+	ms := m.Shards[id]
+	snap, mapping, err := snapshot.Open(filepath.Join(filepath.Dir(manifestPath), ms.File))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("shard: opening shard %d (%s): %w", id, ms.File, err)
+	}
+	ix, err := core.NewIndexFromSlab(snap.Net, snap.POIs, snap.Slab)
+	if err != nil {
+		mapping.Close()
+		return nil, nil, nil, fmt.Errorf("shard: rebuilding shard %d index: %w", id, err)
+	}
+	if snap.Net.NumStreets() != len(ms.Streets) || snap.Net.NumSegments() != len(ms.Segments) {
+		mapping.Close()
+		return nil, nil, nil, fmt.Errorf("shard: shard %d manifest maps %d streets/%d segments, snapshot has %d/%d",
+			id, len(ms.Streets), len(ms.Segments), snap.Net.NumStreets(), snap.Net.NumSegments())
+	}
+	return &Shard{
+		ID:       id,
+		TileX:    ms.TileX,
+		TileY:    ms.TileY,
+		Net:      snap.Net,
+		POIs:     snap.POIs,
+		Index:    ix,
+		Streets:  ms.Streets,
+		Segments: ms.Segments,
+	}, m, mapping, nil
 }
 
 // LoadWorld mmaps every shard snapshot named by a manifest and rebuilds

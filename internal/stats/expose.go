@@ -61,6 +61,18 @@ func (s Snapshot) counterRows() []counterRow {
 		{"ingest_epochs_retired", s.Ingest.EpochsRetired, false},
 		{"ingest_publish_ns", s.Ingest.PublishNanos, false},
 		{"ingest_compact_ns", s.Ingest.CompactNanos, false},
+		{"remote_calls", s.Remote.Calls, false},
+		{"remote_attempts", s.Remote.Attempts, false},
+		{"remote_retries", s.Remote.Retries, false},
+		{"remote_hedges_started", s.Remote.HedgesStarted, false},
+		{"remote_hedges_won", s.Remote.HedgesWon, false},
+		{"remote_hedges_wasted", s.Remote.HedgesWasted, false},
+		{"remote_breaker_opens", s.Remote.BreakerOpens, false},
+		{"remote_breaker_probes", s.Remote.BreakerProbes, false},
+		{"remote_breaker_short_circuits", s.Remote.BreakerShortCircuits, false},
+		{"remote_errors", s.Remote.Errors, false},
+		{"remote_degraded", s.Remote.Degraded, false},
+		{"remote_shards_missing", s.Remote.ShardsMissing, false},
 		{"diversify_summaries", s.Diversify.Summaries, false},
 		{"diversify_iterations", s.Diversify.Iterations, false},
 		{"diversify_candidate_photos", s.Diversify.CandidatePhotos, false},

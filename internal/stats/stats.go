@@ -177,6 +177,38 @@ type IngestStats struct {
 	CompactNanos Counter
 }
 
+// RemoteStats aggregates the cross-process scatter-gather path: the
+// fault-tolerant shard client's attempt/retry/hedge traffic, circuit
+// breaker lifecycle, and the coordinator's degradation outcomes.
+type RemoteStats struct {
+	// Calls counts logical shard calls (bound or query, one per shard
+	// per coordinator phase); Attempts counts the HTTP attempts they
+	// expanded into (first tries, retries and hedges alike).
+	Calls    Counter
+	Attempts Counter
+	// Retries counts attempts beyond a call's first (hedges excluded).
+	Retries Counter
+	// HedgesStarted counts speculative second attempts launched after
+	// the hedge delay; HedgesWon counts hedges whose response was used,
+	// HedgesWasted counts hedges whose primary finished first.
+	HedgesStarted Counter
+	HedgesWon     Counter
+	HedgesWasted  Counter
+	// BreakerOpens counts closed→open transitions; BreakerProbes counts
+	// half-open readiness probes; BreakerShortCircuits counts attempts
+	// denied because every eligible replica's breaker was open.
+	BreakerOpens         Counter
+	BreakerProbes        Counter
+	BreakerShortCircuits Counter
+	// Errors counts calls that failed after exhausting replicas and the
+	// retry budget.
+	Errors Counter
+	// Degraded counts coordinator answers served with one or more shards
+	// missing; ShardsMissing sums the shards those answers were missing.
+	Degraded      Counter
+	ShardsMissing Counter
+}
+
 // Recorder is the process-wide sink for observability counters. One
 // recorder is owned by the soi.Engine and shared by every layer under
 // it; a nil *Recorder disables recording entirely.
@@ -185,6 +217,7 @@ type Recorder struct {
 	Engine    EngineStats
 	Diversify DiversifyStats
 	Ingest    IngestStats
+	Remote    RemoteStats
 }
 
 // NewRecorder returns a zeroed recorder.
@@ -255,6 +288,22 @@ type IngestSnapshot struct {
 	CompactNanos   int64 `json:"compact_ns"`
 }
 
+// RemoteSnapshot is the JSON form of RemoteStats.
+type RemoteSnapshot struct {
+	Calls                int64 `json:"calls"`
+	Attempts             int64 `json:"attempts"`
+	Retries              int64 `json:"retries"`
+	HedgesStarted        int64 `json:"hedges_started"`
+	HedgesWon            int64 `json:"hedges_won"`
+	HedgesWasted         int64 `json:"hedges_wasted"`
+	BreakerOpens         int64 `json:"breaker_opens"`
+	BreakerProbes        int64 `json:"breaker_probes"`
+	BreakerShortCircuits int64 `json:"breaker_short_circuits"`
+	Errors               int64 `json:"errors"`
+	Degraded             int64 `json:"degraded"`
+	ShardsMissing        int64 `json:"shards_missing"`
+}
+
 // Snapshot is a point-in-time copy of every recorder value, safe to
 // serialize while traffic continues.
 type Snapshot struct {
@@ -262,6 +311,7 @@ type Snapshot struct {
 	Engine    EngineSnapshot    `json:"engine"`
 	Diversify DiversifySnapshot `json:"diversify"`
 	Ingest    IngestSnapshot    `json:"ingest"`
+	Remote    RemoteSnapshot    `json:"remote"`
 }
 
 // Snapshot copies the current counter and histogram values. Each counter
@@ -317,6 +367,20 @@ func (r *Recorder) Snapshot() Snapshot {
 			CellsExamined:   r.Diversify.CellsExamined.Load(),
 			CellsPruned:     r.Diversify.CellsPruned.Load(),
 			SummaryNanos:    r.Diversify.SummaryNanos.Load(),
+		},
+		Remote: RemoteSnapshot{
+			Calls:                r.Remote.Calls.Load(),
+			Attempts:             r.Remote.Attempts.Load(),
+			Retries:              r.Remote.Retries.Load(),
+			HedgesStarted:        r.Remote.HedgesStarted.Load(),
+			HedgesWon:            r.Remote.HedgesWon.Load(),
+			HedgesWasted:         r.Remote.HedgesWasted.Load(),
+			BreakerOpens:         r.Remote.BreakerOpens.Load(),
+			BreakerProbes:        r.Remote.BreakerProbes.Load(),
+			BreakerShortCircuits: r.Remote.BreakerShortCircuits.Load(),
+			Errors:               r.Remote.Errors.Load(),
+			Degraded:             r.Remote.Degraded.Load(),
+			ShardsMissing:        r.Remote.ShardsMissing.Load(),
 		},
 		Ingest: IngestSnapshot{
 			DeltasAppended: r.Ingest.DeltasAppended.Load(),
