@@ -40,6 +40,13 @@
 // epoch per batch:
 //
 //	soibench -json BENCH_ingest.json -ingest -scale 0.1 -writes 2000 -write-batch 100
+//
+// Benchmark the trajectory query family — the k-most-interesting-routes
+// search and the trajectory-aware SOI pipeline (bit-identity to the
+// exhaustive oracle is enforced separately by soicheck -routes -traj):
+//
+//	soibench -json BENCH_routes.json -routes -queries 40 -scale 0.05
+//	soibench -json BENCH_traj.json -traj -queries 40 -scale 0.05
 package main
 
 import (
@@ -80,6 +87,8 @@ func main() {
 		tenantsN = flag.Int("tenants", 1, "with -shards: interleave this many per-tenant seeded workloads round-robin (multi-tenant arrival order)")
 		remoteB  = flag.Bool("remote", false, "with -json and -shards: benchmark the cross-process scatter-gather path (shards behind loopback HTTP servers, gathered by the fault-tolerant remote client) against the single slab index")
 		ingestB  = flag.Bool("ingest", false, "with -json: run the mixed read/write ingest benchmark (quiescent vs live reads while a writer publishes epochs)")
+		routesB  = flag.Bool("routes", false, "with -json: benchmark the k-most-interesting-routes search (internal/traj)")
+		trajB    = flag.Bool("traj", false, "with -json: benchmark the trajectory-aware SOI pipeline (map-matching + corridor ranking)")
 		writesN  = flag.Int("writes", 2000, "with -ingest: POIs the writer streams during the mixed pass")
 		writeBat = flag.Int("write-batch", 100, "with -ingest: POIs appended per publish")
 	)
@@ -128,9 +137,34 @@ func main() {
 		}
 	}
 
+	if *routesB || *trajB {
+		switch {
+		case *jsonOut == "":
+			log.Fatalf("-routes and -traj require -json OUT: the trajectory benchmarks only emit the BENCH artifact")
+		case *routesB && *trajB:
+			log.Fatalf("-routes and -traj are mutually exclusive: each writes its own artifact")
+		case *shards != 0 || *tenantsN != 1 || *remoteB || *ingestB:
+			log.Fatalf("-routes/-traj are mutually exclusive with -shards, -tenants, -remote and -ingest")
+		case *parallel != 0 || *withStat || *statsOut != "":
+			log.Fatalf("-routes/-traj are mutually exclusive with -parallel and -stats")
+		}
+	}
+
 	if *jsonOut != "" {
 		if *queries <= 0 {
 			log.Fatalf("-json needs a positive -queries workload size, got %d", *queries)
+		}
+		if *routesB {
+			if err := runRoutesBench(*cities, *scale, *queries, *seed, *jsonOut); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		if *trajB {
+			if err := runTrajBench(*cities, *scale, *queries, *seed, *jsonOut); err != nil {
+				log.Fatal(err)
+			}
+			return
 		}
 		if *ingestB {
 			if err := runIngestBench(*cities, *scale, *queries, *seed, *writesN, *writeBat, *jsonOut); err != nil {

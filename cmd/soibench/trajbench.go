@@ -1,0 +1,226 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/network"
+	"repro/internal/traj"
+	"repro/internal/vocab"
+)
+
+// This file benchmarks the trajectory query family (internal/traj): the
+// k-most-interesting-routes search and the trajectory-aware SOI
+// pipeline (map-matching + corridor ranking). Both workloads reuse the
+// seeded keyword workload of the other benchmarks, derive their spatial
+// parameters (endpoints, budgets, traces) deterministically from the
+// same seed, and emit the standard schema-v3 BENCH artifact with the
+// measurement in World.Single. There is no baseline pair for these
+// workloads, so the ratio fields are fixed at 1.
+
+// routeWork is one derived route query of the routes workload.
+type routeWork struct {
+	set vocab.Set
+	eps float64
+	q   traj.RouteQuery
+}
+
+// runRoutesBench measures the k-most-interesting-routes search per city
+// and writes the BENCH artifact.
+func runRoutesBench(cities string, scale float64, queries int, seed int64, outPath string) error {
+	out := os.Stdout
+	start := time.Now()
+	fmt.Fprintf(out, "Loading cities (scale %g)...\n", scale)
+	citiesList, err := loadSelected(cities, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Loaded %d cities in %v.\n", len(citiesList), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(out, "Workload: %d route queries, seed %d.\n\n", queries, seed)
+
+	report := benchfmt.Report{
+		SchemaVersion: benchfmt.SchemaVersion,
+		Bench:         "routes",
+		GoVersion:     runtime.Version(),
+		Scale:         scale,
+		Seed:          seed,
+		Queries:       queries,
+	}
+	ctx := context.Background()
+	kwWork := experiments.ParallelWorkloadSeeded(queries, seed)
+	for _, c := range citiesList {
+		net := c.Dataset.Network
+		g := traj.NewGraph(net, traj.DefaultSnap(net))
+		work, err := deriveRouteWork(c, g, kwWork, seed)
+		if err != nil {
+			return fmt.Errorf("deriving route workload for %s: %w", c.Name(), err)
+		}
+		var expansions int64
+		metrics, err := measure(len(work), func() error {
+			expansions = 0
+			for _, rw := range work {
+				_, st, err := traj.TopKRoutes(ctx, g, func(sid network.SegmentID) float64 {
+					return c.Index.SegmentInterest(sid, rw.set, rw.eps)
+				}, rw.q, traj.SearchOptions{})
+				if err != nil {
+					return err
+				}
+				expansions += int64(st.Expansions)
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("routes on %s: %w", c.Name(), err)
+		}
+		report.Worlds = append(report.Worlds, trajWorld(c, metrics))
+		fmt.Fprintf(out, "%-12s routes %9.0f ns/q %7.1f allocs/q %8.1f qps (%d queries, %.0f expansions/q)\n",
+			c.Name(), metrics.NsPerQuery, metrics.AllocsPerQuery, metrics.QPS,
+			len(work), float64(expansions)/float64(len(work)))
+	}
+
+	if err := report.WriteFile(outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nWrote %s (schema v%d). Done in %v.\n", outPath, benchfmt.SchemaVersion, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// deriveRouteWork turns the seeded keyword workload into route queries:
+// per query a source vertex is hashed from the seed, the destination is
+// the reachable vertex nearest to four mean segment lengths away, and
+// the budget leaves the search 20% slack over the shortest path. The
+// derivation is deterministic, so two runs with one seed time the same
+// searches.
+func deriveRouteWork(c *experiments.City, g *traj.Graph, kwWork []core.Query, seed int64) ([]routeWork, error) {
+	net := c.Dataset.Network
+	nv := g.NumVertices()
+	if nv < 2 {
+		return nil, fmt.Errorf("network has %d vertices", nv)
+	}
+	st := net.Stats()
+	meanLen := st.TotalLen / float64(st.NumSegments)
+	band := 4 * meanLen
+	h := seed
+	if h < 0 {
+		h = -h
+	}
+	work := make([]routeWork, 0, len(kwWork))
+	for i, kq := range kwWork {
+		src := network.VertexID((uint64(h)*2654435761 + uint64(i)*97) % uint64(nv))
+		dists := g.Distances(src)
+		// Destination: the reachable vertex whose shortest-path distance
+		// is largest while staying within the band — far enough to make
+		// the search non-trivial, near enough to bound the path space.
+		best, bestD := network.VertexID(0), -1.0
+		for v, d := range dists {
+			if network.VertexID(v) == src || d > band || d < 0 {
+				continue
+			}
+			if d > bestD || (d == bestD && network.VertexID(v) < best) {
+				best, bestD = network.VertexID(v), d
+			}
+		}
+		if bestD <= 0 {
+			continue // isolated source; skip deterministically
+		}
+		set, _ := c.Dataset.POIs.Dict().LookupAll(kq.Keywords)
+		work = append(work, routeWork{
+			set: set,
+			eps: kq.Epsilon,
+			q: traj.RouteQuery{
+				Src: src, Dst: best,
+				K:      3,
+				Budget: 1.2 * bestD,
+				Alpha:  0,
+			},
+		})
+	}
+	if len(work) == 0 {
+		return nil, fmt.Errorf("no reachable source/destination pairs")
+	}
+	return work, nil
+}
+
+// runTrajBench measures the trajectory-aware SOI pipeline per city: a
+// fixed set of synthetic traces is map-matched and corridor-ranked once
+// per keyword query.
+func runTrajBench(cities string, scale float64, queries int, seed int64, outPath string) error {
+	out := os.Stdout
+	start := time.Now()
+	fmt.Fprintf(out, "Loading cities (scale %g)...\n", scale)
+	citiesList, err := loadSelected(cities, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Loaded %d cities in %v.\n", len(citiesList), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(out, "Workload: %d trajectory queries, seed %d.\n\n", queries, seed)
+
+	const tracesPerQuery = 8
+	report := benchfmt.Report{
+		SchemaVersion: benchfmt.SchemaVersion,
+		Bench:         "traj",
+		GoVersion:     runtime.Version(),
+		Scale:         scale,
+		Seed:          seed,
+		Queries:       queries,
+	}
+	ctx := context.Background()
+	kwWork := experiments.ParallelWorkloadSeeded(queries, seed)
+	for _, c := range citiesList {
+		net := c.Dataset.Network
+		traces := datagen.Traces(net, seed, tracesPerQuery)
+		radius := traj.DefaultSnap(net)
+		m := traj.NewMatcher(net, radius)
+		var matched int64
+		metrics, err := measure(len(kwWork), func() error {
+			matched = 0
+			for _, kq := range kwWork {
+				set, _ := c.Dataset.POIs.Dict().LookupAll(kq.Keywords)
+				eps := kq.Epsilon
+				_, st, err := traj.TrajectorySOI(ctx, m, func(sid network.SegmentID) float64 {
+					return c.Index.SegmentInterest(sid, set, eps)
+				}, traj.TrajQuery{Traces: traces, K: 10, Radius: radius})
+				if err != nil {
+					return err
+				}
+				matched += int64(st.Matched)
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("traj on %s: %w", c.Name(), err)
+		}
+		report.Worlds = append(report.Worlds, trajWorld(c, metrics))
+		fmt.Fprintf(out, "%-12s traj   %9.0f ns/q %7.1f allocs/q %8.1f qps (%d traces/q, %.0f matched pts/q)\n",
+			c.Name(), metrics.NsPerQuery, metrics.AllocsPerQuery, metrics.QPS,
+			tracesPerQuery, float64(matched)/float64(len(kwWork)))
+	}
+
+	if err := report.WriteFile(outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nWrote %s (schema v%d). Done in %v.\n", outPath, benchfmt.SchemaVersion, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// trajWorld wraps one measurement as a World with the single-sided
+// ratio convention (no baseline pair → both ratios 1).
+func trajWorld(c *experiments.City, m benchfmt.Metrics) benchfmt.World {
+	st := c.Dataset.Network.Stats()
+	return benchfmt.World{
+		Name:           c.Name(),
+		Streets:        st.NumStreets,
+		Segments:       st.NumSegments,
+		POIs:           c.Dataset.POIs.Len(),
+		Single:         &m,
+		Speedup:        1,
+		AllocReduction: 1,
+	}
+}

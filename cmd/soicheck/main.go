@@ -17,6 +17,7 @@
 //	soicheck -seeds 0:500 -out ./repros     # nightly full matrix
 //	soicheck -seeds 0:50 -interleaved       # live-ingest interleaved matrix
 //	soicheck -seeds 0:50 -quick -remote     # + cross-process remote matrix
+//	soicheck -seeds 0:50 -quick -routes -traj  # + trajectory-family differentials
 //
 // With -remote each differential world additionally runs the
 // cross-process scatter-gather comparison: every shard of the partition
@@ -70,6 +71,8 @@ func run(args []string, out io.Writer) int {
 		budget   = fs.Int("shrink-budget", oracle.DefaultShrinkChecks, "max predicate evaluations per shrink")
 		interl   = fs.Bool("interleaved", false, "run the interleaved live-ingest differential mode instead of the static matrix")
 		remoteM  = fs.Bool("remote", false, "additionally cross-check the cross-process scatter-gather path (each shard behind a real loopback HTTP server)")
+		routesM  = fs.Bool("routes", false, "additionally cross-check k-most-interesting-routes search against the exhaustive path-enumeration oracle")
+		trajM    = fs.Bool("traj", false, "additionally cross-check trajectory map-matching and trajectory-aware SOI against the full-scan oracle")
 		rounds   = fs.Int("rounds", 0, "with -interleaved: publish rounds per seed (0 = default)")
 		qworkers = fs.Int("query-workers", 0, "with -interleaved: concurrent query goroutines per seed (0 = default)")
 	)
@@ -113,7 +116,7 @@ func run(args []string, out io.Writer) int {
 						})
 						checked = rep.Answers
 					} else {
-						divs, err = oracle.CheckConfig(cfg, oracle.Options{Remote: *remoteM})
+						divs, err = oracle.CheckConfig(cfg, oracle.Options{Remote: *remoteM, Routes: *routesM, Traj: *trajM})
 					}
 					mu.Lock()
 					configs++
@@ -220,6 +223,20 @@ func reproPredicate(cfg oracle.SeedConfig, div oracle.Divergence) oracle.Predica
 	case strings.HasPrefix(div.Impl, "diversify/"):
 		return func(w oracle.World) bool {
 			divs, err := oracle.CheckSummary(w, oracle.SummaryParams)
+			return err == nil && len(divs) > 0
+		}
+	case strings.HasPrefix(div.Impl, "routes/"), strings.HasPrefix(div.Impl, "traj/"):
+		// Trajectory-family divergences re-run DiffTraj with only the
+		// failing family enabled; the cases re-derive from the seed, so
+		// they stay comparable as the shrinker removes world elements
+		// (traces shrink like any other removable element).
+		opt := oracle.Options{
+			Routes:    strings.HasPrefix(div.Impl, "routes/"),
+			Traj:      strings.HasPrefix(div.Impl, "traj/"),
+			CellSizes: cellFocus(div),
+		}
+		return func(w oracle.World) bool {
+			divs, err := oracle.DiffTraj(w, cfg.Seed, opt)
 			return err == nil && len(divs) > 0
 		}
 	default:

@@ -11,6 +11,11 @@
 // memory-map directly:
 //
 //	soigen -city berlin -scale 0.1 -out ./data/berlin -snapshot berlin.soi
+//
+// With -traces N the directory additionally receives traces.geojson: N
+// synthetic movement traces (jittered random walks over the street
+// network) for exercising the trajectory query family (soibench -traj,
+// POST /api/trajectories/soi).
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dataio"
+	"repro/internal/geojson"
 	"repro/internal/snapshot"
 )
 
@@ -37,8 +43,9 @@ func main() {
 		scale = flag.Float64("scale", 1.0, "volume scale factor applied to the profile")
 		seed  = flag.Int64("seed", 0, "override the profile seed (0 keeps the default)")
 		out   = flag.String("out", ".", "output directory")
-		snap  = flag.String("snapshot", "", "also write a binary index snapshot (.soi) to this path (see soibuild, soiserve -index)")
-		cell  = flag.Float64("cell", soi.DefaultCellSize, "grid cell size for the -snapshot slab index")
+		snap   = flag.String("snapshot", "", "also write a binary index snapshot (.soi) to this path (see soibuild, soiserve -index)")
+		cell   = flag.Float64("cell", soi.DefaultCellSize, "grid cell size for the -snapshot slab index")
+		traces = flag.Int("traces", 0, "also write this many synthetic movement traces as traces.geojson (random walks over the street network)")
 	)
 	flag.Parse()
 
@@ -81,6 +88,16 @@ func main() {
 		return nil
 	}); err != nil {
 		log.Fatal(err)
+	}
+	if *traces > 0 {
+		walks := datagen.Traces(ds.Network, profile.Seed, *traces)
+		if err := writeFile(filepath.Join(*out, "traces.geojson"), func(w *bufio.Writer) error {
+			fc := geojson.NewCollection()
+			fc.AddTraces(walks)
+			return fc.Write(w)
+		}); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *snap != "" {
 		six, err := core.NewSlabIndex(ds.Network, ds.POIs, core.IndexConfig{CellSize: *cell})

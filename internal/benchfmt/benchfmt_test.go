@@ -180,7 +180,7 @@ func TestCommittedArtifactsConform(t *testing.T) {
 			t.Errorf("%s: schema_version %d outside [1, %d]", filepath.Base(p), r.SchemaVersion, SchemaVersion)
 		}
 		switch r.Bench {
-		case "slab-vs-map", "sharded-scatter-gather", "remote-scatter-gather":
+		case "slab-vs-map", "sharded-scatter-gather", "remote-scatter-gather", "routes", "traj":
 		default:
 			t.Errorf("%s: unknown bench %q", filepath.Base(p), r.Bench)
 		}

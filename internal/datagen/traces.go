@@ -1,0 +1,83 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/network"
+)
+
+// Traces generates n synthetic user movement traces over the network:
+// seeded street-following random walks sampled with GPS-like jitter.
+// Each trace starts on a random segment, walks across shared vertices
+// onto adjacent segments for a few hops, and emits a handful of sample
+// points per traversed segment, each displaced by Gaussian noise scaled
+// to the network's mean segment length. The output is deterministic for
+// a (network, seed, n) triple.
+func Traces(net *network.Network, seed int64, n int) [][]geo.Point {
+	if net.NumSegments() == 0 || n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	st := net.Stats()
+	meanLen := st.TotalLen / float64(st.NumSegments)
+	jitter := 0.08 * meanLen
+
+	// Vertex → incident segments, in segment-id order.
+	incident := make([][]network.SegmentID, net.NumVertices())
+	for i := range net.Segments() {
+		seg := net.Segment(network.SegmentID(i))
+		incident[seg.From] = append(incident[seg.From], network.SegmentID(i))
+		incident[seg.To] = append(incident[seg.To], network.SegmentID(i))
+	}
+
+	traces := make([][]geo.Point, 0, n)
+	for t := 0; t < n; t++ {
+		sid := network.SegmentID(rng.Intn(net.NumSegments()))
+		seg := net.Segment(sid)
+		at := seg.From
+		hops := 3 + rng.Intn(6)
+		var trace []geo.Point
+		for hop := 0; hop < hops; hop++ {
+			// Walk the segment from the vertex we are at toward its
+			// far end, sampling a few jittered points along the way.
+			a, b := net.Vertex(seg.From), net.Vertex(seg.To)
+			far := seg.To
+			if at == seg.To {
+				a, b = b, a
+				far = seg.From
+			}
+			samples := 3 + rng.Intn(3)
+			for i := 0; i < samples; i++ {
+				f := (float64(i) + 0.5) / float64(samples)
+				trace = append(trace, geo.Pt(
+					a.X+(b.X-a.X)*f+rng.NormFloat64()*jitter,
+					a.Y+(b.Y-a.Y)*f+rng.NormFloat64()*jitter,
+				))
+			}
+			at = far
+			// Hop to a random incident segment at the far vertex,
+			// preferring not to double back.
+			next := incident[at]
+			if len(next) == 0 {
+				break
+			}
+			cand := next[rng.Intn(len(next))]
+			if cand == sid && len(next) > 1 {
+				cand = next[rng.Intn(len(next))]
+			}
+			if cand == sid {
+				break
+			}
+			sid = cand
+			seg = net.Segment(sid)
+			if at != seg.From && at != seg.To {
+				break
+			}
+		}
+		if len(trace) > 0 {
+			traces = append(traces, trace)
+		}
+	}
+	return traces
+}

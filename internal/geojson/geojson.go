@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diversify"
+	"repro/internal/geo"
 	"repro/internal/network"
 	"repro/internal/photo"
 	"repro/internal/poi"
@@ -103,6 +104,29 @@ func (fc *FeatureCollection) AddNetwork(net *network.Network) {
 				"kind":   "street",
 				"street": int(id),
 				"name":   net.Street(id).Name,
+			},
+		})
+	}
+}
+
+// AddTraces appends user movement traces as LineString features with a
+// "trace" kind and positional index, so trajectory repros and soigen
+// outputs carry the corridors alongside the world.
+func (fc *FeatureCollection) AddTraces(traces [][]geo.Point) {
+	for i, tr := range traces {
+		coords := make([][]float64, len(tr))
+		for j, p := range tr {
+			coords[j] = []float64{p.X, p.Y}
+		}
+		fc.Features = append(fc.Features, Feature{
+			Type: "Feature",
+			Geometry: Geometry{
+				Type:        "LineString",
+				Coordinates: coords,
+			},
+			Properties: map[string]interface{}{
+				"kind":  "trace",
+				"trace": i,
 			},
 		})
 	}

@@ -1,0 +1,225 @@
+package lcmsr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/network"
+	"repro/internal/poi"
+	"repro/internal/vocab"
+)
+
+// naiveVertexScores is an independent O(|P|·|L|) reference for the
+// snapping rule: each query-relevant POI snaps to the closer endpoint of
+// its nearest segment (ties by lowest segment id, endpoint ties to the
+// From vertex), contributing its weight there. Accumulation runs in
+// corpus order, so a correct production implementation matches it
+// bit-for-bit.
+func naiveVertexScores(net *network.Network, corpus *poi.Corpus, query vocab.Set) []float64 {
+	scores := make([]float64, net.NumVertices())
+	for _, p := range corpus.All() {
+		if !p.Keywords.Intersects(query) {
+			continue
+		}
+		if net.NumSegments() == 0 {
+			continue
+		}
+		best := network.SegmentID(0)
+		bestD := math.Inf(1)
+		for sid := 0; sid < net.NumSegments(); sid++ {
+			if d := net.Segment(network.SegmentID(sid)).Geom.DistToPointSq(p.Loc); d < bestD {
+				best, bestD = network.SegmentID(sid), d
+			}
+		}
+		seg := net.Segment(best)
+		if p.Loc.DistSq(net.Vertex(seg.From)) <= p.Loc.DistSq(net.Vertex(seg.To)) {
+			scores[seg.From] += p.Weight
+		} else {
+			scores[seg.To] += p.Weight
+		}
+	}
+	return scores
+}
+
+// randomCorpus scatters n POIs with random keywords and weights over the
+// unit-lattice extent of an s×s network.
+func randomCorpus(rng *rand.Rand, s float64, n int) *poi.Corpus {
+	vocabulary := []string{"shop", "cafe", "museum", "bar", "park"}
+	pb := poi.NewBuilder(nil)
+	for i := 0; i < n; i++ {
+		kws := []string{vocabulary[rng.Intn(len(vocabulary))]}
+		if rng.Intn(3) == 0 {
+			kws = append(kws, vocabulary[rng.Intn(len(vocabulary))])
+		}
+		loc := geo.Pt(rng.Float64()*s, rng.Float64()*s)
+		pb.AddWeighted(loc, kws, 0.5+rng.Float64()*4)
+	}
+	return pb.Build()
+}
+
+// Property: VertexScores agrees bit-for-bit with the independent naive
+// reference over random corpora and keyword queries.
+func TestVertexScoresMatchesNaiveReference(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(900 + int64(trial)))
+		net := lattice(t, 3+rng.Intn(4))
+		corpus := randomCorpus(rng, 5, 50+rng.Intn(150))
+		kw := []string{"shop", "cafe", "museum", "bar", "park"}[rng.Intn(5)]
+		query, _ := corpus.Dict().LookupAll([]string{kw})
+		got := VertexScores(net, corpus, query)
+		want := naiveVertexScores(net, corpus, query)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d scores, want %d", trial, len(got), len(want))
+		}
+		for v := range got {
+			if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+				t.Fatalf("trial %d: vertex %d score %v != reference %v", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// Property: supplying the all-segments candidate generator to
+// VertexScoresWith is exactly VertexScores, and a generator restricted
+// to each POI's true nearest segment keeps the answer unchanged.
+func TestVertexScoresWithGeneratorConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	net := lattice(t, 5)
+	corpus := randomCorpus(rng, 4, 120)
+	query, _ := corpus.Dict().LookupAll([]string{"shop", "bar"})
+	base := VertexScores(net, corpus, query)
+
+	all := allSegments(net)
+	viaAll := VertexScoresWith(net, corpus, query, func(geo.Point) []network.SegmentID { return all })
+	for v := range base {
+		if math.Float64bits(base[v]) != math.Float64bits(viaAll[v]) {
+			t.Fatalf("vertex %d: all-segments generator diverges: %v != %v", v, viaAll[v], base[v])
+		}
+	}
+
+	nearestOnly := VertexScoresWith(net, corpus, query, func(p geo.Point) []network.SegmentID {
+		best := network.SegmentID(0)
+		bestD := math.Inf(1)
+		for sid := 0; sid < net.NumSegments(); sid++ {
+			if d := net.Segment(network.SegmentID(sid)).Geom.DistToPointSq(p); d < bestD {
+				best, bestD = network.SegmentID(sid), d
+			}
+		}
+		return []network.SegmentID{best}
+	})
+	for v := range base {
+		if math.Float64bits(base[v]) != math.Float64bits(nearestOnly[v]) {
+			t.Fatalf("vertex %d: nearest-only generator diverges: %v != %v", v, nearestOnly[v], base[v])
+		}
+	}
+}
+
+// Property: over random score vectors and budgets, Query returns a
+// region that is connected, within budget, duplicate-free, correctly
+// accounted, and at least as good as its best seed vertex alone.
+func TestQueryRandomProperties(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(1700 + int64(trial)))
+		net := lattice(t, 4+rng.Intn(3))
+		scores := make([]float64, net.NumVertices())
+		maxScore := 0.0
+		for v := range scores {
+			if rng.Intn(2) == 0 {
+				scores[v] = rng.Float64() * 10
+				if scores[v] > maxScore {
+					maxScore = scores[v]
+				}
+			}
+		}
+		if maxScore == 0 {
+			continue
+		}
+		budget := 0.5 + rng.Float64()*8
+		r, err := Query(net, scores, budget, Options{Restarts: 1 + rng.Intn(6)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !r.Connected(net) {
+			t.Fatalf("trial %d: region not connected: %+v", trial, r)
+		}
+		if r.Length > budget+1e-9 {
+			t.Fatalf("trial %d: length %v exceeds budget %v", trial, r.Length, budget)
+		}
+		if r.Score < maxScore {
+			t.Fatalf("trial %d: score %v below best single vertex %v", trial, r.Score, maxScore)
+		}
+		seenSeg := map[network.SegmentID]bool{}
+		var segLen float64
+		for _, sid := range r.Segments {
+			if seenSeg[sid] {
+				t.Fatalf("trial %d: duplicate segment %d", trial, sid)
+			}
+			seenSeg[sid] = true
+			segLen += net.Segment(sid).Length()
+		}
+		// Connectors contribute length but no segments, so the segment
+		// sum only bounds the reported length from below.
+		if segLen > r.Length+1e-9 {
+			t.Fatalf("trial %d: segment lengths %v exceed region length %v", trial, segLen, r.Length)
+		}
+		seenV := map[network.VertexID]bool{}
+		var vertexSum float64
+		for _, v := range r.Vertices {
+			if seenV[v] {
+				t.Fatalf("trial %d: duplicate vertex %d", trial, v)
+			}
+			seenV[v] = true
+			vertexSum += scores[v]
+		}
+		if math.Abs(vertexSum-r.Score) > 1e-9 {
+			t.Fatalf("trial %d: vertex score sum %v != region score %v", trial, vertexSum, r.Score)
+		}
+	}
+}
+
+// Degenerate inputs: empty corpora, irrelevant queries, score vectors of
+// the wrong shape, and sub-edge budgets all behave predictably.
+func TestQueryDegenerateInputs(t *testing.T) {
+	net := lattice(t, 3)
+
+	// An empty corpus scores every vertex zero, so Query refuses.
+	empty := poi.NewBuilder(nil).Build()
+	scores := VertexScores(net, empty, nil)
+	for v, s := range scores {
+		if s != 0 {
+			t.Fatalf("vertex %d scored %v from an empty corpus", v, s)
+		}
+	}
+	if _, err := Query(net, scores, 5, Options{}); err == nil {
+		t.Fatal("expected error for all-zero scores")
+	}
+
+	// A query matching nothing behaves like an empty corpus.
+	pb := poi.NewBuilder(nil)
+	pb.Add(geo.Pt(1, 1), []string{"shop"})
+	corpus := pb.Build()
+	irrelevant := vocab.NewSet([]vocab.ID{9999})
+	for v, s := range VertexScores(net, corpus, irrelevant) {
+		if s != 0 {
+			t.Fatalf("vertex %d scored %v under an irrelevant query", v, s)
+		}
+	}
+
+	// Wrong-shape score vectors are rejected, not misindexed.
+	if _, err := Query(net, make([]float64, 3), 5, Options{}); err == nil {
+		t.Fatal("expected error for short score vector")
+	}
+
+	// A budget below every edge length still returns the seed vertex.
+	good := make([]float64, net.NumVertices())
+	good[4] = 7
+	r, err := Query(net, good, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Vertices) != 1 || r.Score != 7 || len(r.Segments) != 0 {
+		t.Fatalf("sub-edge budget region = %+v, want the bare seed", r)
+	}
+}

@@ -65,6 +65,13 @@ type Options struct {
 	// crosses the wire per shard, so the sweep is markedly slower than
 	// the in-process matrix.
 	Remote bool
+	// Routes additionally runs the k most interesting routes
+	// differential: the pruned best-first search against exhaustive
+	// simple-path enumeration (DiffTraj).
+	Routes bool
+	// Traj additionally runs the trajectory-SOI differential: the grid
+	// map-matcher and corridor ranking against full scans (DiffTraj).
+	Traj bool
 }
 
 // DefaultCellSizes are the index cell sizes swept when Options leaves

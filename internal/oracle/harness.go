@@ -45,10 +45,14 @@ func (c SeedConfig) BuildWorld() (World, error) {
 	if err != nil {
 		return World{}, err
 	}
+	w := FromDataset(ds)
 	if c.Weighted {
-		return FromDatasetWeighted(ds), nil
+		w = FromDatasetWeighted(ds)
 	}
-	return FromDataset(ds), nil
+	// Every world carries a few deterministic movement traces so the
+	// trajectory checks always have corridors to match.
+	w.Traces = datagen.Traces(ds.Network, c.Seed+1000, 6)
+	return w, nil
 }
 
 // matrixVocab is the keyword pool the query grid draws from: the Tiny
@@ -174,6 +178,11 @@ func CheckConfig(c SeedConfig, opt Options) ([]Divergence, error) {
 	if err != nil {
 		return nil, err
 	}
+	tdivs, err := DiffTraj(w, c.Seed, opt)
+	if err != nil {
+		return nil, err
+	}
 	divs = append(divs, mdivs...)
-	return append(divs, sdivs...), nil
+	divs = append(divs, sdivs...)
+	return append(divs, tdivs...), nil
 }

@@ -1,5 +1,7 @@
 package oracle
 
+import "repro/internal/geo"
+
 // Predicate reports whether a world still reproduces the failure under
 // investigation. Shrinking removes streets, POIs and photos, which
 // renumbers ids — predicates should re-detect the divergence (e.g. by
@@ -50,6 +52,11 @@ func Shrink(w World, pred Predicate, maxChecks int) World {
 			cand.Photos = photos
 			return pred(cand)
 		}, &budget)
+		cur.Traces = minimize(cur.Traces, func(traces [][]geo.Point) bool {
+			cand := cur
+			cand.Traces = traces
+			return pred(cand)
+		}, &budget)
 		if cur.size() == before {
 			break
 		}
@@ -58,7 +65,7 @@ func Shrink(w World, pred Predicate, maxChecks int) World {
 }
 
 func (w World) size() int {
-	return len(w.Streets) + len(w.POIs) + len(w.Photos)
+	return len(w.Streets) + len(w.POIs) + len(w.Photos) + len(w.Traces)
 }
 
 // minimize greedily removes chunks of items while test keeps passing,

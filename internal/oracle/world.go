@@ -59,6 +59,10 @@ type World struct {
 	Streets []StreetSpec
 	POIs    []POISpec
 	Photos  []PhotoSpec
+	// Traces are free movement polylines for the trajectory queries.
+	// They reference no street ids, so they survive street removal
+	// during shrinking.
+	Traces [][]geo.Point
 }
 
 // FromDataset flattens a generated dataset into a plain-data world.
@@ -114,6 +118,10 @@ func (w World) Clone() World {
 	for i, p := range w.Photos {
 		out.Photos[i] = PhotoSpec{Loc: p.Loc, Tags: append([]string(nil), p.Tags...)}
 	}
+	out.Traces = make([][]geo.Point, len(w.Traces))
+	for i, tr := range w.Traces {
+		out.Traces[i] = append([]geo.Point(nil), tr...)
+	}
 	return out
 }
 
@@ -138,6 +146,14 @@ func (w World) Transform(f func(geo.Point) geo.Point) World {
 	}
 	for i, p := range w.Photos {
 		out.Photos[i] = PhotoSpec{Loc: f(p.Loc), Tags: p.Tags}
+	}
+	out.Traces = make([][]geo.Point, len(w.Traces))
+	for i, tr := range w.Traces {
+		pts := make([]geo.Point, len(tr))
+		for j, p := range tr {
+			pts[j] = f(p)
+		}
+		out.Traces[i] = pts
 	}
 	return out
 }
@@ -223,6 +239,7 @@ func (w World) WriteGeoJSON(out io.Writer, extra ...geojson.Feature) error {
 	fc.AddNetwork(net)
 	fc.AddPOIs(pois)
 	fc.AddPhotos(photos)
+	fc.AddTraces(w.Traces)
 	fc.Features = append(fc.Features, extra...)
 	return fc.Write(out)
 }

@@ -214,6 +214,16 @@ type Stop struct {
 	Approach Path
 }
 
+// Unreached records a candidate street the planner had to drop because
+// no path connects it to the tour — it lives in a different connected
+// component of the graph. It is distinct from streets that were merely
+// over budget: those are reachable and simply omitted.
+type Unreached struct {
+	Street   network.StreetID
+	Name     string
+	Interest float64
+}
+
 // Tour is a recommended walking route over streets of interest.
 type Tour struct {
 	Stops []Stop
@@ -222,6 +232,11 @@ type Tour struct {
 	Length float64
 	// Interest is the summed interest of the visited streets.
 	Interest float64
+	// Unreached lists the candidate streets in no connected component of
+	// the tour, in candidate order. Callers that must visit everything
+	// can rebuild the graph with a larger connector snap radius (see
+	// NewGraphConnected) and re-plan.
+	Unreached []Unreached
 }
 
 // Candidate pairs a street with its interest score; the k-SOI answer in
@@ -305,6 +320,24 @@ func Recommend(g *Graph, candidates []Candidate, budget float64) (Tour, error) {
 		tour.Length += bestPath.Length + st.Length()
 		tour.Interest += c.Interest
 		cur = streetEnd(g.net, c.Street)
+	}
+	if len(visited) < len(candidates) {
+		// Classify the leftovers: reachability is a component property of
+		// the undirected graph, so one distance pass from the final
+		// position settles it for every remaining candidate.
+		dist, _, _ := g.dijkstra(cur, network.VertexID(math.MaxUint32))
+		for i, c := range candidates {
+			if visited[i] {
+				continue
+			}
+			if math.IsInf(dist[streetStart(g.net, c.Street)], 1) {
+				tour.Unreached = append(tour.Unreached, Unreached{
+					Street:   c.Street,
+					Name:     g.net.Street(c.Street).Name,
+					Interest: c.Interest,
+				})
+			}
+		}
 	}
 	return tour, nil
 }

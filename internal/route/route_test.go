@@ -241,6 +241,76 @@ func TestRecommendSkipsUnreachable(t *testing.T) {
 	if len(tour.Stops) != 1 || tour.Stops[0].Street != 0 {
 		t.Fatalf("tour = %+v, want only the reachable street", tour)
 	}
+	if len(tour.Unreached) != 1 || tour.Unreached[0].Street != 1 {
+		t.Fatalf("unreached = %+v, want the island street", tour.Unreached)
+	}
+	if tour.Unreached[0].Name != "island" || tour.Unreached[0].Interest != 1 {
+		t.Fatalf("unreached entry = %+v, want name/interest carried over", tour.Unreached[0])
+	}
+}
+
+// Regression: a graph split into several components reports every
+// candidate outside the start's component as Unreached — in candidate
+// order — while reachable-but-over-budget streets stay unlisted.
+func TestRecommendDisconnectedComponents(t *testing.T) {
+	b := network.NewBuilder()
+	b.AddStreet("main", []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)})            // street 0, component A
+	b.AddStreet("side", []geo.Point{geo.Pt(1, 0), geo.Pt(1, 5)})            // street 1, component A (shares vertex)
+	b.AddStreet("island1", []geo.Point{geo.Pt(100, 100), geo.Pt(101, 100)}) // street 2, component B
+	b.AddStreet("island2", []geo.Point{geo.Pt(200, 200), geo.Pt(201, 200)}) // street 3, component C
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(net)
+	tour, err := Recommend(g, []Candidate{
+		{Street: 2, Interest: 4}, // island1: unreachable
+		{Street: 0, Interest: 9}, // main: the start
+		{Street: 3, Interest: 2}, // island2: unreachable
+		{Street: 1, Interest: 1}, // side: reachable but over budget
+	}, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tour.Stops) != 1 || tour.Stops[0].Name != "main" {
+		t.Fatalf("stops = %+v, want only main", tour.Stops)
+	}
+	want := []Unreached{
+		{Street: 2, Name: "island1", Interest: 4},
+		{Street: 3, Name: "island2", Interest: 2},
+	}
+	if len(tour.Unreached) != len(want) {
+		t.Fatalf("unreached = %+v, want %+v", tour.Unreached, want)
+	}
+	for i, u := range tour.Unreached {
+		if u != want[i] {
+			t.Fatalf("unreached[%d] = %+v, want %+v", i, u, want[i])
+		}
+	}
+	// "side" is in the tour's component: over budget is not unreached.
+	for _, u := range tour.Unreached {
+		if u.Name == "side" {
+			t.Fatalf("side listed as unreached: %+v", tour.Unreached)
+		}
+	}
+}
+
+// Regression: a fully connected candidate set yields no Unreached
+// entries even when the budget stops the tour early.
+func TestRecommendUnreachedEmptyWhenConnected(t *testing.T) {
+	net := gridNetwork(t, 4)
+	g := NewGraph(net)
+	var cands []Candidate
+	for i := 0; i < 4; i++ {
+		cands = append(cands, Candidate{Street: network.StreetID(i), Interest: float64(i + 1)})
+	}
+	tour, err := Recommend(g, cands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tour.Unreached) != 0 {
+		t.Fatalf("unreached = %+v, want none on a connected grid", tour.Unreached)
+	}
 }
 
 // Property: the tour's recomputed length from its parts matches the

@@ -16,6 +16,11 @@
 //	/api/streets/batch[?trace=1]       {"queries":[{"keywords":["a"],"k":10,"eps":0.0005}, ...]}
 //	/api/pois                          {"x":..,"y":..,"keywords":["a"]} or {"pois":[...],"publish":true}
 //
+// and the trajectory query family (POST, JSON):
+//
+//	/api/routes/topk                   {"src":[x,y],"dst":[x,y],"keywords":["a"],"k":3,"budget":0.05,"alpha":0}
+//	/api/trajectories/soi              {"traces":[[[x,y],...],...],"keywords":["a"],"k":10,"radius":0.0003}
+//
 // With trace=1 every k-SOI answer carries a per-stage trace: the phase
 // timings of the paper's Figure 4 and the accessed-cell/segment counts
 // of its Section 6 measurements.
@@ -105,6 +110,8 @@ func NewWithConfig(engine *soi.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/api/pois", s.handlePOIs)
 	s.mux.HandleFunc("/api/describe", s.handleDescribe)
 	s.mux.HandleFunc("/api/tour", s.handleTour)
+	s.mux.HandleFunc("/api/routes/topk", s.handleRoutesTopK)
+	s.mux.HandleFunc("/api/trajectories/soi", s.handleTrajectorySOI)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	// net/http/pprof registers on the default mux; mirror its handlers
 	// here so profiles are reachable through this server's mux too.

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro"
+)
+
+// This file serves the trajectory query family: POST /api/routes/topk
+// (k most interesting routes) and POST /api/trajectories/soi
+// (trajectory-aware SOI). Both follow the batch endpoint's conventions:
+// POST-only with an Allow header on 405, a bounded request body (413 on
+// overrun), 400 on malformed or invalid queries, and query-path errors
+// mapped through the shared httperr table (503+Retry-After on shed, 504
+// on deadline, 500 on recovered panics).
+
+// maxTracePoints caps the summed trace points of one trajectory request.
+const maxTracePoints = 65536
+
+type routesRequest struct {
+	Src      [2]float64 `json:"src"`
+	Dst      [2]float64 `json:"dst"`
+	Keywords []string   `json:"keywords"`
+	K        int        `json:"k"`
+	Eps      float64    `json:"eps"`
+	Budget   float64    `json:"budget"`
+	Alpha    float64    `json:"alpha"`
+}
+
+type routeEntry struct {
+	Polyline [][2]float64 `json:"polyline"`
+	Streets  []string     `json:"streets"`
+	Length   float64      `json:"length"`
+	Interest float64      `json:"interest"`
+	Score    float64      `json:"score"`
+}
+
+type routesResponse struct {
+	Routes []routeEntry `json:"routes"`
+}
+
+func (s *Server) handleRoutesTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	if s.maxBatchBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBatchBytes)
+	}
+	var req routesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Keywords) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no keywords"))
+		return
+	}
+	if req.Budget <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("non-positive budget %v", req.Budget))
+		return
+	}
+	if req.Alpha < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("negative alpha %v", req.Alpha))
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 3
+	}
+	if k < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("negative k %d", k))
+		return
+	}
+	eps := req.Eps
+	if eps == 0 {
+		eps = soi.DefaultCellSize
+	}
+	if eps < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("negative eps %v", eps))
+		return
+	}
+	routes, err := s.engine.TopRoutesCtx(r.Context(), soi.RouteQuery{
+		Src:      soi.Point{X: req.Src[0], Y: req.Src[1]},
+		Dst:      soi.Point{X: req.Dst[0], Y: req.Dst[1]},
+		Keywords: req.Keywords,
+		K:        k,
+		Epsilon:  eps,
+		Budget:   req.Budget,
+		Alpha:    req.Alpha,
+	})
+	if err != nil {
+		writeQueryError(w, r, err)
+		return
+	}
+	resp := routesResponse{Routes: make([]routeEntry, len(routes))}
+	for i, rt := range routes {
+		entry := routeEntry{
+			Polyline: make([][2]float64, len(rt.Polyline)),
+			Streets:  rt.Streets,
+			Length:   rt.Length,
+			Interest: rt.Interest,
+			Score:    rt.Score,
+		}
+		for j, p := range rt.Polyline {
+			entry.Polyline[j] = [2]float64{p.X, p.Y}
+		}
+		resp.Routes[i] = entry
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type trajRequest struct {
+	Traces   [][][2]float64 `json:"traces"`
+	Keywords []string       `json:"keywords"`
+	K        int            `json:"k"`
+	Eps      float64        `json:"eps"`
+	Radius   float64        `json:"radius"`
+}
+
+type corridorEntry struct {
+	Name     string  `json:"name"`
+	Coverage float64 `json:"coverage"`
+	Interest float64 `json:"interest"`
+	Score    float64 `json:"score"`
+}
+
+type trajResponse struct {
+	Streets []corridorEntry `json:"streets"`
+}
+
+func (s *Server) handleTrajectorySOI(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	if s.maxBatchBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBatchBytes)
+	}
+	var req trajRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Traces) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no traces"))
+		return
+	}
+	total := 0
+	for _, tr := range req.Traces {
+		total += len(tr)
+	}
+	if total > maxTracePoints {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%d trace points exceed the limit %d", total, maxTracePoints))
+		return
+	}
+	if len(req.Keywords) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no keywords"))
+		return
+	}
+	if req.Radius < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("negative radius %v", req.Radius))
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	if k < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("negative k %d", k))
+		return
+	}
+	eps := req.Eps
+	if eps == 0 {
+		eps = soi.DefaultCellSize
+	}
+	if eps < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("negative eps %v", eps))
+		return
+	}
+	traces := make([][]soi.Point, len(req.Traces))
+	for i, tr := range req.Traces {
+		pts := make([]soi.Point, len(tr))
+		for j, p := range tr {
+			pts[j] = soi.Point{X: p[0], Y: p[1]}
+		}
+		traces[i] = pts
+	}
+	res, err := s.engine.TrajectorySOICtx(r.Context(), soi.TrajectoryQuery{
+		Traces:   traces,
+		Keywords: req.Keywords,
+		K:        k,
+		Epsilon:  eps,
+		Radius:   req.Radius,
+	})
+	if err != nil {
+		writeQueryError(w, r, err)
+		return
+	}
+	resp := trajResponse{Streets: make([]corridorEntry, len(res))}
+	for i, c := range res {
+		resp.Streets[i] = corridorEntry{Name: c.Name, Coverage: c.Coverage, Interest: c.Interest, Score: c.Score}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestRoutesTopK(t *testing.T) {
+	s := testServer(t)
+	rec, body := post(t, s, "/api/routes/topk",
+		`{"src":[0,0],"dst":[0.002,0.002],"keywords":["shop"],"k":2,"budget":0.02}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, body)
+	}
+	routes := body["routes"].([]interface{})
+	if len(routes) == 0 {
+		t.Fatalf("no routes: %v", body)
+	}
+	first := routes[0].(map[string]interface{})
+	poly := first["polyline"].([]interface{})
+	if len(poly) < 2 {
+		t.Fatalf("route polyline = %v", poly)
+	}
+	streets := first["streets"].([]interface{})
+	if len(streets) == 0 || streets[0] != "High St" {
+		t.Fatalf("route streets = %v", streets)
+	}
+	if first["score"].(float64) < 0 {
+		t.Fatalf("route score = %v", first["score"])
+	}
+}
+
+func TestRoutesTopKValidation(t *testing.T) {
+	s := testServer(t)
+	cases := []string{
+		`{`, // malformed JSON
+		`{"src":[0,0],"dst":[0.002,0],"budget":0.02}`,                             // no keywords
+		`{"src":[0,0],"dst":[0.002,0],"keywords":["shop"]}`,                       // no budget
+		`{"src":[0,0],"dst":[0.002,0],"keywords":["shop"],"budget":-1}`,           // negative budget
+		`{"src":[0,0],"dst":[0.002,0],"keywords":["shop"],"budget":1,"alpha":-1}`, // negative alpha
+		`{"src":[0,0],"dst":[0.002,0],"keywords":["shop"],"budget":1,"k":-2}`,     // negative k
+		`{"src":[0,0],"dst":[0.002,0],"keywords":["shop"],"budget":1,"eps":-1}`,   // negative eps
+	}
+	for _, c := range cases {
+		rec, body := post(t, s, "/api/routes/topk", c)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d (%v)", c, rec.Code, body)
+		}
+	}
+}
+
+func TestRoutesTopKMethodNotAllowed(t *testing.T) {
+	s := testServer(t)
+	rec, _ := get(t, s, "/api/routes/topk")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if allow := rec.Header().Get("Allow"); allow != http.MethodPost {
+		t.Fatalf("Allow = %q", allow)
+	}
+}
+
+func TestTrajectorySOIEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, body := post(t, s, "/api/trajectories/soi",
+		`{"traces":[[[0.0002,0.00005],[0.001,-0.00005],[0.0018,0.00005]]],"keywords":["shop"],"k":5,"radius":0.0003}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, body)
+	}
+	streets := body["streets"].([]interface{})
+	if len(streets) == 0 {
+		t.Fatalf("no corridor streets: %v", body)
+	}
+	first := streets[0].(map[string]interface{})
+	if first["name"] != "High St" {
+		t.Fatalf("top corridor = %v", first)
+	}
+	cov := first["coverage"].(float64)
+	if cov <= 0 || cov > 1 {
+		t.Fatalf("coverage = %v", cov)
+	}
+}
+
+func TestTrajectorySOIValidation(t *testing.T) {
+	s := testServer(t)
+	cases := []string{
+		`{`,                     // malformed JSON
+		`{"keywords":["shop"]}`, // no traces
+		`{"traces":[[[0,0]]]}`,  // no keywords
+		`{"traces":[[[0,0]]],"keywords":["shop"],"radius":-1}`, // negative radius
+		`{"traces":[[[0,0]]],"keywords":["shop"],"k":-1}`,      // negative k
+		`{"traces":[[[0,0]]],"keywords":["shop"],"eps":-1}`,    // negative eps
+	}
+	for _, c := range cases {
+		rec, body := post(t, s, "/api/trajectories/soi", c)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%.60s: status = %d (%v)", c, rec.Code, body)
+		}
+	}
+}
+
+func TestTrajectorySOITooManyPoints(t *testing.T) {
+	// A request under the byte cap but over the point cap trips the
+	// dedicated limit. 70k copies of "[0,0]" exceed 65536 points but the
+	// body (~420 KB) must fit, so raise the byte cap for this server.
+	s := testServer(t)
+	s.maxBatchBytes = 8 << 20
+	var b strings.Builder
+	b.WriteString(`{"traces":[[`)
+	for i := 0; i < 70000; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("[0,0]")
+	}
+	b.WriteString(`]],"keywords":["shop"]}`)
+	rec, body := post(t, s, "/api/trajectories/soi", b.String())
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d (%v)", rec.Code, body)
+	}
+	if !strings.Contains(body["error"].(string), "trace points") {
+		t.Fatalf("error = %v", body["error"])
+	}
+}
+
+func TestTrajectorySOIBodyTooLarge(t *testing.T) {
+	s := testServer(t)
+	big := `{"traces":[[` + strings.Repeat("[0,0],", 300000) + `[0,0]]],"keywords":["shop"]}`
+	rec, body := post(t, s, "/api/trajectories/soi", big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d (%v)", rec.Code, body)
+	}
+}

@@ -73,6 +73,17 @@ func (s Snapshot) counterRows() []counterRow {
 		{"remote_errors", s.Remote.Errors, false},
 		{"remote_degraded", s.Remote.Degraded, false},
 		{"remote_shards_missing", s.Remote.ShardsMissing, false},
+		{"traj_route_queries", s.Traj.RouteQueries, false},
+		{"traj_traj_queries", s.Traj.TrajQueries, false},
+		{"traj_expansions", s.Traj.Expansions, false},
+		{"traj_trace_points", s.Traj.TracePoints, false},
+		{"traj_matched_points", s.Traj.MatchedPoints, false},
+		{"traj_shed", s.Traj.Shed, false},
+		{"traj_cancelled", s.Traj.Cancelled, false},
+		{"traj_deadline_exceeded", s.Traj.DeadlineExceeded, false},
+		{"traj_panics_recovered", s.Traj.PanicsRecovered, false},
+		{"traj_search_ns", s.Traj.SearchNanos, false},
+		{"traj_match_ns", s.Traj.MatchNanos, false},
 		{"diversify_summaries", s.Diversify.Summaries, false},
 		{"diversify_iterations", s.Diversify.Iterations, false},
 		{"diversify_candidate_photos", s.Diversify.CandidatePhotos, false},

@@ -209,6 +209,31 @@ type RemoteStats struct {
 	ShardsMissing Counter
 }
 
+// TrajStats aggregates the trajectory query family: route searches,
+// trace matching and their admission outcomes.
+type TrajStats struct {
+	// RouteQueries and TrajQueries count k-routes and trajectory-SOI
+	// queries received.
+	RouteQueries Counter
+	TrajQueries  Counter
+	// Expansions accumulates route-search frontier pops.
+	Expansions Counter
+	// TracePoints and MatchedPoints count trace points examined and
+	// those that snapped to a segment.
+	TracePoints   Counter
+	MatchedPoints Counter
+	// Shed, Cancelled, DeadlineExceeded and PanicsRecovered mirror the
+	// engine group's admission outcomes for the trajectory gate.
+	Shed             Counter
+	Cancelled        Counter
+	DeadlineExceeded Counter
+	PanicsRecovered  Counter
+	// SearchNanos and MatchNanos accumulate wall time inside route
+	// searches and trajectory-SOI evaluations.
+	SearchNanos Counter
+	MatchNanos  Counter
+}
+
 // Recorder is the process-wide sink for observability counters. One
 // recorder is owned by the soi.Engine and shared by every layer under
 // it; a nil *Recorder disables recording entirely.
@@ -218,6 +243,7 @@ type Recorder struct {
 	Diversify DiversifyStats
 	Ingest    IngestStats
 	Remote    RemoteStats
+	Traj      TrajStats
 }
 
 // NewRecorder returns a zeroed recorder.
@@ -304,6 +330,21 @@ type RemoteSnapshot struct {
 	ShardsMissing        int64 `json:"shards_missing"`
 }
 
+// TrajSnapshot is the JSON form of TrajStats.
+type TrajSnapshot struct {
+	RouteQueries     int64 `json:"route_queries"`
+	TrajQueries      int64 `json:"traj_queries"`
+	Expansions       int64 `json:"expansions"`
+	TracePoints      int64 `json:"trace_points"`
+	MatchedPoints    int64 `json:"matched_points"`
+	Shed             int64 `json:"shed"`
+	Cancelled        int64 `json:"cancelled"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	PanicsRecovered  int64 `json:"panics_recovered"`
+	SearchNanos      int64 `json:"search_ns"`
+	MatchNanos       int64 `json:"match_ns"`
+}
+
 // Snapshot is a point-in-time copy of every recorder value, safe to
 // serialize while traffic continues.
 type Snapshot struct {
@@ -312,6 +353,7 @@ type Snapshot struct {
 	Diversify DiversifySnapshot `json:"diversify"`
 	Ingest    IngestSnapshot    `json:"ingest"`
 	Remote    RemoteSnapshot    `json:"remote"`
+	Traj      TrajSnapshot      `json:"traj"`
 }
 
 // Snapshot copies the current counter and histogram values. Each counter
@@ -392,6 +434,19 @@ func (r *Recorder) Snapshot() Snapshot {
 			EpochsRetired:  r.Ingest.EpochsRetired.Load(),
 			PublishNanos:   r.Ingest.PublishNanos.Load(),
 			CompactNanos:   r.Ingest.CompactNanos.Load(),
+		},
+		Traj: TrajSnapshot{
+			RouteQueries:     r.Traj.RouteQueries.Load(),
+			TrajQueries:      r.Traj.TrajQueries.Load(),
+			Expansions:       r.Traj.Expansions.Load(),
+			TracePoints:      r.Traj.TracePoints.Load(),
+			MatchedPoints:    r.Traj.MatchedPoints.Load(),
+			Shed:             r.Traj.Shed.Load(),
+			Cancelled:        r.Traj.Cancelled.Load(),
+			DeadlineExceeded: r.Traj.DeadlineExceeded.Load(),
+			PanicsRecovered:  r.Traj.PanicsRecovered.Load(),
+			SearchNanos:      r.Traj.SearchNanos.Load(),
+			MatchNanos:       r.Traj.MatchNanos.Load(),
 		},
 	}
 }

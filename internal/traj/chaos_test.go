@@ -1,0 +1,145 @@
+package traj
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/geo"
+	"repro/internal/network"
+)
+
+// Fault sites are process-global, so these tests never run in parallel
+// with each other; each one resets the registry on exit.
+
+func TestChaosSearchError(t *testing.T) {
+	defer faults.Reset()
+	net := lattice(t, 4)
+	g := NewGraph(net, 0)
+	q := RouteQuery{Src: 0, Dst: network.VertexID(g.NumVertices() - 1), K: 2, Budget: 12}
+
+	injected := errors.New("injected search failure")
+	faults.Activate("traj.search", faults.Fault{Err: injected, After: 3, Times: 1})
+	_, _, err := TopKRoutes(context.Background(), g, hashInterest, q, SearchOptions{})
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if faults.Fired("traj.search") != 1 {
+		t.Fatalf("fired %d times, want 1", faults.Fired("traj.search"))
+	}
+
+	// The graph is untouched state; the same query succeeds once the
+	// fault is cleared.
+	faults.Deactivate("traj.search")
+	rs, _, err := TopKRoutes(context.Background(), g, hashInterest, q, SearchOptions{})
+	if err != nil || len(rs) == 0 {
+		t.Fatalf("retry after fault clear: routes=%d err=%v", len(rs), err)
+	}
+}
+
+func TestChaosMatchError(t *testing.T) {
+	defer faults.Reset()
+	net := lattice(t, 3)
+	m := NewMatcher(net, 0.2)
+	q := TrajQuery{
+		Traces: [][]geo.Point{{geo.Pt(0.5, 0)}, {geo.Pt(1.5, 0)}},
+		K:      3,
+		Radius: 0.2,
+	}
+
+	injected := errors.New("injected match failure")
+	faults.Activate("traj.match", faults.Fault{Err: injected, After: 1, Times: 1})
+	_, _, err := TrajectorySOI(context.Background(), m, hashInterest, q)
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+
+	faults.Deactivate("traj.match")
+	res, st, err := TrajectorySOI(context.Background(), m, hashInterest, q)
+	if err != nil {
+		t.Fatalf("retry after fault clear: %v", err)
+	}
+	if st.TracePoints != 2 || len(res) == 0 {
+		t.Fatalf("retry results: stats=%+v res=%d", st, len(res))
+	}
+}
+
+func TestChaosSearchBlockedUntilCancel(t *testing.T) {
+	defer faults.Reset()
+	net := lattice(t, 4)
+	g := NewGraph(net, 0)
+	q := RouteQuery{Src: 0, Dst: network.VertexID(g.NumVertices() - 1), K: 2, Budget: 12}
+
+	block := make(chan struct{})
+	faults.Activate("traj.search", faults.Fault{Block: block, Times: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := TopKRoutes(ctx, g, hashInterest, q, SearchOptions{})
+		done <- err
+	}()
+	// The search parks on the blocked fault site; cancel, then release.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	close(block)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("search did not return after cancel+release")
+	}
+}
+
+// Shared Graph and Matcher values are read-only after construction;
+// concurrent queries with fault delays armed must stay race-free.
+func TestChaosConcurrentQueries(t *testing.T) {
+	defer faults.Reset()
+	net := lattice(t, 4)
+	g := NewGraph(net, 0)
+	m := NewMatcher(net, 0.2)
+	faults.Activate("traj.search", faults.Fault{Delay: time.Microsecond})
+	faults.Activate("traj.match", faults.Fault{Delay: time.Microsecond})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if w%2 == 0 {
+					q := RouteQuery{
+						Src:    network.VertexID(w % g.NumVertices()),
+						Dst:    network.VertexID((w + 7 + i) % g.NumVertices()),
+						K:      2,
+						Budget: 10,
+					}
+					if _, _, err := TopKRoutes(context.Background(), g, hashInterest, q, SearchOptions{}); err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+				} else {
+					q := TrajQuery{
+						Traces: [][]geo.Point{{geo.Pt(float64(i%3)+0.5, float64(w%3))}},
+						K:      3,
+						Radius: 0.2,
+					}
+					if _, _, err := TrajectorySOI(context.Background(), m, hashInterest, q); err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if faults.Visits("traj.search") == 0 || faults.Visits("traj.match") == 0 {
+		t.Fatalf("fault sites not exercised: search=%d match=%d",
+			faults.Visits("traj.search"), faults.Visits("traj.match"))
+	}
+}

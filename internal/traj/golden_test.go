@@ -1,0 +1,158 @@
+package traj
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/network"
+)
+
+// Golden tests pin the exact (Float64bits) rankings of fixed-seed
+// trajectory queries over the Tiny synthetic city. Any change to the
+// search order, pruning, accumulation order or matcher tie-breaking
+// shows up here as a bit-level diff. When an intentional change lands,
+// re-derive the literals by flipping printGolden to true and running
+// `go test -run TestGolden -v ./internal/traj/`.
+const printGolden = false
+
+func goldenSetup(t *testing.T) (*core.Index, *network.Network, *Graph, InterestFunc) {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Tiny(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.NewIndex(ds.Network, ds.POIs, core.IndexConfig{CellSize: 0.0005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, missing := ds.POIs.Dict().LookupAll([]string{"shop"})
+	if len(missing) > 0 {
+		t.Fatalf("vocabulary lost %v", missing)
+	}
+	g := NewGraph(ds.Network, DefaultSnap(ds.Network))
+	interest := func(sid network.SegmentID) float64 {
+		return ix.SegmentInterest(sid, set, 0.0005)
+	}
+	return ix, ds.Network, g, interest
+}
+
+type goldenRoute struct {
+	score, length, interest uint64
+	nVerts, nSegs           int
+}
+
+var goldenRoutes = []goldenRoute{
+	{score: 0x413a0402bd755f3f, length: 0x3f7edf16e6866e50, interest: 0x413a0402be6c57f6, nVerts: 7, nSegs: 4},
+	{score: 0x413a0402bd755f3f, length: 0x3f7edf16e6866e50, interest: 0x413a0402be6c57f6, nVerts: 7, nSegs: 3},
+	{score: 0x413456905087a539, length: 0x3f7be75ec7180e22, interest: 0x413456905166e02f, nVerts: 7, nSegs: 3},
+}
+
+func TestGoldenRoutes(t *testing.T) {
+	_, net, g, interest := goldenSetup(t)
+	src, ok := NearestVertex(net, net.Vertex(0))
+	if !ok {
+		t.Fatal("empty network")
+	}
+	// Deterministic destination at moderate range: the reachable vertex
+	// with the largest shortest-path distance not exceeding four mean
+	// segment lengths. Keeps the loopless path space tractable.
+	var total float64
+	for sid := 0; sid < net.NumSegments(); sid++ {
+		total += net.Segment(network.SegmentID(sid)).Length()
+	}
+	maxDist := 4 * total / float64(net.NumSegments())
+	dist := g.Distances(src)
+	dst, best := src, 0.0
+	for v, d := range dist {
+		if !math.IsInf(d, 1) && d > best && d <= maxDist {
+			dst, best = network.VertexID(v), d
+		}
+	}
+	q := RouteQuery{Src: src, Dst: dst, K: 3, Budget: 1.2 * best, Alpha: 0.5}
+	rs, _, err := TopKRoutes(context.Background(), g, interest, q, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if printGolden {
+		var b strings.Builder
+		for _, r := range rs {
+			fmt.Fprintf(&b, "\t{score: %#x, length: %#x, interest: %#x, nVerts: %d, nSegs: %d},\n",
+				math.Float64bits(r.Score), math.Float64bits(r.Length), math.Float64bits(r.Interest),
+				len(r.Vertices), len(r.Segments))
+		}
+		t.Fatalf("golden routes:\n%s", b.String())
+	}
+	if len(rs) != len(goldenRoutes) {
+		t.Fatalf("%d routes, golden has %d", len(rs), len(goldenRoutes))
+	}
+	for i, r := range rs {
+		want := goldenRoutes[i]
+		got := goldenRoute{
+			score:    math.Float64bits(r.Score),
+			length:   math.Float64bits(r.Length),
+			interest: math.Float64bits(r.Interest),
+			nVerts:   len(r.Vertices),
+			nSegs:    len(r.Segments),
+		}
+		if got != want {
+			t.Errorf("route %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+type goldenCorridor struct {
+	name                      string
+	coverage, interest, score uint64
+}
+
+var goldenCorridors = []goldenCorridor{
+	{name: "Münzstraße", coverage: 0x3fed15560be9750e, interest: 0x417bc9e794de8efe, score: 0x4179418117d9e71a},
+	{name: "Neue Schönhauser Straße", coverage: 0x3fd14a318ae07e3d, interest: 0x417d4518223c5f4a, score: 0x415fa123d5a703b9},
+	{name: "Tinytown Diagonal 1", coverage: 0x3fe3b78713b096ae, interest: 0x4161c9d8beb2dfc0, score: 0x4155ebbc2e7255d1},
+	{name: "Kurfürstendamm", coverage: 0x3fe45636b4b872f5, interest: 0x41606c3a4a83047d, score: 0x4154dfc6bd37e3b2},
+	{name: "Tinytown Local Street 2", coverage: 0x3fe68966e51746e2, interest: 0x415c5b3d0cf8d45f, score: 0x4153f87bc41ec1f0},
+}
+
+func TestGoldenTrajectorySOI(t *testing.T) {
+	_, net, _, interest := goldenSetup(t)
+	radius := DefaultSnap(net)
+	m := NewMatcher(net, radius)
+	traces := datagen.Traces(net, 42, 24)
+	res, st, err := TrajectorySOI(context.Background(), m, interest, TrajQuery{
+		Traces: traces, K: 5, Radius: radius,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TracePoints == 0 || st.Matched == 0 {
+		t.Fatalf("degenerate stats %+v", st)
+	}
+	if printGolden {
+		var b strings.Builder
+		for _, r := range res {
+			fmt.Fprintf(&b, "\t{name: %q, coverage: %#x, interest: %#x, score: %#x},\n",
+				r.Name, math.Float64bits(r.Coverage), math.Float64bits(r.Interest), math.Float64bits(r.Score))
+		}
+		t.Fatalf("golden corridors:\n%s", b.String())
+	}
+	if len(res) != len(goldenCorridors) {
+		t.Fatalf("%d corridors, golden has %d", len(res), len(goldenCorridors))
+	}
+	for i, r := range res {
+		want := goldenCorridors[i]
+		got := goldenCorridor{
+			name:     r.Name,
+			coverage: math.Float64bits(r.Coverage),
+			interest: math.Float64bits(r.Interest),
+			score:    math.Float64bits(r.Score),
+		}
+		if got != want {
+			t.Errorf("corridor %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}

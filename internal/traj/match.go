@@ -1,0 +1,266 @@
+package traj
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/geo"
+	"repro/internal/network"
+)
+
+// TrajQuery ranks streets by interest restricted to the corridors a set
+// of user movement traces actually traveled.
+type TrajQuery struct {
+	// Traces are the raw movement polylines (sampled GPS-like points).
+	Traces [][]geo.Point
+	// K is the number of streets to return.
+	K int
+	// Radius is the map-matching snap radius: a trace point matches the
+	// nearest segment within this distance, or no segment at all.
+	Radius float64
+}
+
+// Validate reports whether the query is well formed.
+func (q TrajQuery) Validate() error {
+	if q.K <= 0 {
+		return fmt.Errorf("traj: non-positive k %d", q.K)
+	}
+	if q.Radius <= 0 {
+		return fmt.Errorf("traj: non-positive radius %v", q.Radius)
+	}
+	if len(q.Traces) == 0 {
+		return fmt.Errorf("traj: no traces")
+	}
+	return nil
+}
+
+// CorridorResult is one ranked street of a trajectory-SOI query.
+type CorridorResult struct {
+	// Street is the street id.
+	Street network.StreetID
+	// Name is the street's display name.
+	Name string
+	// Coverage is the traveled fraction of the street: the summed length
+	// of its segments touched by any trace point, divided by the
+	// street's total length. In (0, 1].
+	Coverage float64
+	// Interest is the maximum segment interest among the street's
+	// traveled segments.
+	Interest float64
+	// Score = Coverage × Interest, the ranking key.
+	Score float64
+}
+
+// MatchStats reports the map-matching work one trajectory query did.
+type MatchStats struct {
+	// TracePoints counts trace points examined.
+	TracePoints int
+	// Matched counts trace points that snapped to a segment.
+	Matched int
+	// CoveredSegments counts distinct segments touched by any trace.
+	CoveredSegments int
+}
+
+// Matcher snaps free points to their nearest street segment within a
+// fixed radius, using a uniform grid of segment buckets so each lookup
+// only scans nearby candidates. Matching is deterministic: the winner is
+// the globally nearest segment within the radius, exact distance ties
+// broken by the lowest segment id — identical to a full ascending scan
+// over every segment, which is what the oracle does.
+type Matcher struct {
+	net     *network.Network
+	radius  float64
+	r2      float64
+	cell    float64
+	buckets map[matchCell][]network.SegmentID
+}
+
+type matchCell struct{ x, y int32 }
+
+// NewMatcher builds the segment grid for one snap radius. The cell size
+// equals the radius, so any segment within radius of a point is bucketed
+// somewhere in the 3×3 cell block around it. Segments are bucketed into
+// every cell their bounding box overlaps.
+func NewMatcher(net *network.Network, radius float64) *Matcher {
+	m := &Matcher{
+		net:     net,
+		radius:  radius,
+		r2:      radius * radius,
+		cell:    radius,
+		buckets: make(map[matchCell][]network.SegmentID),
+	}
+	if radius <= 0 {
+		return m
+	}
+	for i := range net.Segments() {
+		seg := net.Segment(network.SegmentID(i))
+		b := seg.Geom.Bounds()
+		x0 := int32(math.Floor(b.MinX / m.cell))
+		x1 := int32(math.Floor(b.MaxX / m.cell))
+		y0 := int32(math.Floor(b.MinY / m.cell))
+		y1 := int32(math.Floor(b.MaxY / m.cell))
+		for x := x0; x <= x1; x++ {
+			for y := y0; y <= y1; y++ {
+				k := matchCell{x, y}
+				m.buckets[k] = append(m.buckets[k], network.SegmentID(i))
+			}
+		}
+	}
+	// Buckets were filled in ascending segment order, so each list is
+	// already sorted; candidate merging below relies on that.
+	return m
+}
+
+// Radius returns the matcher's snap radius.
+func (m *Matcher) Radius() float64 { return m.radius }
+
+// Match snaps p to the nearest segment within the radius. The boolean is
+// false when no segment is close enough.
+func (m *Matcher) Match(p geo.Point) (network.SegmentID, bool) {
+	if m.radius <= 0 {
+		return 0, false
+	}
+	cx := int32(math.Floor(p.X / m.cell))
+	cy := int32(math.Floor(p.Y / m.cell))
+	var cands []network.SegmentID
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			cands = append(cands, m.buckets[matchCell{cx + dx, cy + dy}]...)
+		}
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+	// Scan candidates in ascending segment id with a strict < improvement
+	// test: exact distance ties resolve to the lowest id, matching the
+	// oracle's full scan. Duplicates (a segment bucketed in several of
+	// the nine cells) are skipped by the ascending-order walk.
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	var (
+		best   network.SegmentID
+		bestD2 = math.Inf(1)
+		prev   = network.SegmentID(math.MaxUint32)
+	)
+	for _, sid := range cands {
+		if sid == prev {
+			continue
+		}
+		prev = sid
+		if d2 := m.net.Segment(sid).Geom.DistToPointSq(p); d2 < bestD2 {
+			best, bestD2 = sid, d2
+		}
+	}
+	if bestD2 <= m.r2 {
+		return best, true
+	}
+	return 0, false
+}
+
+// TrajectorySOI map-matches every trace point and ranks streets by
+// interest restricted to the traveled corridor. For each street with at
+// least one matched segment:
+//
+//	coverage = Σ len(matched segments) / len(street)
+//	interest = max segment interest over matched segments
+//	score    = coverage × interest
+//
+// Sums and maxima run in ascending segment-id order with explicit
+// tie-breaks, so the result is bit-identical to the oracle's exhaustive
+// computation for the same matched corridor. Streets with zero score are
+// omitted; results order by score descending, then street id ascending,
+// truncated to K.
+func TrajectorySOI(ctx context.Context, m *Matcher, interest InterestFunc, q TrajQuery) ([]CorridorResult, MatchStats, error) {
+	var st MatchStats
+	if err := q.Validate(); err != nil {
+		return nil, st, err
+	}
+	if q.Radius != m.radius {
+		return nil, st, fmt.Errorf("traj: query radius %v does not match matcher radius %v", q.Radius, m.radius)
+	}
+	covered := make([]bool, m.net.NumSegments())
+	for _, trace := range q.Traces {
+		if err := faults.InjectCtx(ctx, "traj.match"); err != nil {
+			return nil, st, err
+		}
+		for _, p := range trace {
+			if st.TracePoints%ctxPollInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, st, err
+				}
+			}
+			st.TracePoints++
+			if sid, ok := m.Match(p); ok {
+				st.Matched++
+				covered[sid] = true
+			}
+		}
+	}
+	results := CorridorRanking(m.net, covered, interest, q.K, &st)
+	return results, st, nil
+}
+
+// CorridorRanking turns a covered-segment set into the canonical street
+// ranking. It is shared by the pruned implementation and the oracle so
+// the aggregation arithmetic — the part both sides must agree on given
+// the same corridor and interests — is computed one way only; the
+// differential then isolates disagreements to matching and interest
+// provenance. stats may be nil.
+func CorridorRanking(net *network.Network, covered []bool, interest InterestFunc, k int, stats *MatchStats) []CorridorResult {
+	type agg struct {
+		street  network.StreetID
+		lenSum  float64
+		maxI    float64
+		touched bool
+	}
+	perStreet := make([]agg, net.NumStreets())
+	// Ascending segment id: float sums and max tie-breaks are ordered.
+	for sid := 0; sid < net.NumSegments(); sid++ {
+		if !covered[sid] {
+			continue
+		}
+		if stats != nil {
+			stats.CoveredSegments++
+		}
+		seg := net.Segment(network.SegmentID(sid))
+		a := &perStreet[seg.Street]
+		a.street = seg.Street
+		a.lenSum += seg.Length()
+		if i := interest(network.SegmentID(sid)); !a.touched || i > a.maxI {
+			a.maxI = i
+		}
+		a.touched = true
+	}
+	var out []CorridorResult
+	for id := range perStreet {
+		a := &perStreet[id]
+		if !a.touched {
+			continue
+		}
+		street := net.Street(network.StreetID(id))
+		coverage := a.lenSum / street.Length()
+		score := coverage * a.maxI
+		if score == 0 {
+			continue
+		}
+		out = append(out, CorridorResult{
+			Street:   network.StreetID(id),
+			Name:     street.Name,
+			Coverage: coverage,
+			Interest: a.maxI,
+			Score:    score,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Street < out[j].Street
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

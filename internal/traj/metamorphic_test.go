@@ -1,0 +1,156 @@
+package traj
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/network"
+)
+
+// Metamorphic checks for TopKRoutes. Both assertions are EXACT float
+// comparisons, not tolerance-based; they are justified by two facts
+// about IEEE-754 rounding: fl(a+b) >= a for b >= 0, and fl(a op b) is
+// monotone in each operand. Budget monotonicity holds because the set of
+// feasible paths under a smaller budget nests inside the larger one's;
+// interest dominance holds because a pointwise-larger interest function
+// makes every path's accumulated interest (and hence score) at least as
+// large, operand by operand.
+
+func randomRouteSetup(t *testing.T, trial int) (*Graph, []float64, RouteQuery) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(6300 + int64(trial)))
+	net := lattice(t, 3+rng.Intn(3))
+	g := NewGraph(net, 0)
+	interests := make([]float64, net.NumSegments())
+	for i := range interests {
+		interests[i] = rng.Float64() * 2
+	}
+	q := RouteQuery{
+		Src:    network.VertexID(rng.Intn(g.NumVertices())),
+		Dst:    network.VertexID(rng.Intn(g.NumVertices())),
+		K:      1 + rng.Intn(3),
+		Budget: 2 + rng.Float64()*5,
+		Alpha:  []float64{0, 0.3}[rng.Intn(2)],
+	}
+	return g, interests, q
+}
+
+// A larger budget can only improve (or preserve) the best route's score:
+// every route feasible under the smaller budget stays feasible.
+func TestRoutesBudgetMonotonicity(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		g, interests, q := randomRouteSetup(t, trial)
+		interest := func(sid network.SegmentID) float64 { return interests[sid] }
+
+		small, _, err := TopKRoutes(context.Background(), g, interest, q, SearchOptions{})
+		if err != nil {
+			t.Fatalf("trial %d small: %v", trial, err)
+		}
+		qBig := q
+		qBig.Budget = q.Budget * 1.5
+		big, _, err := TopKRoutes(context.Background(), g, interest, qBig, SearchOptions{})
+		if err != nil {
+			t.Fatalf("trial %d big: %v", trial, err)
+		}
+		if len(small) == 0 {
+			continue
+		}
+		if len(big) == 0 {
+			t.Fatalf("trial %d: larger budget lost all routes", trial)
+		}
+		if big[0].Score < small[0].Score {
+			t.Fatalf("trial %d: top score regressed %v -> %v under larger budget (%v -> %v)",
+				trial, small[0].Score, big[0].Score, q.Budget, qBig.Budget)
+		}
+		// Each rank present in both answers is at least as good.
+		for i := 0; i < len(small) && i < len(big); i++ {
+			if big[i].Score < small[i].Score {
+				t.Fatalf("trial %d rank %d: score regressed %v -> %v", trial, i, small[i].Score, big[i].Score)
+			}
+		}
+	}
+}
+
+// A pointwise-larger interest function can only raise (or preserve) the
+// best route's score. This models keyword-superset monotonicity: adding
+// keywords to a query can only raise each segment's interest.
+func TestRoutesInterestDominance(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		g, interests, q := randomRouteSetup(t, trial)
+		rng := rand.New(rand.NewSource(8800 + int64(trial)))
+		boosted := make([]float64, len(interests))
+		for i := range boosted {
+			boosted[i] = interests[i] + rng.Float64()
+		}
+		base := func(sid network.SegmentID) float64 { return interests[sid] }
+		dom := func(sid network.SegmentID) float64 { return boosted[sid] }
+
+		lo, _, err := TopKRoutes(context.Background(), g, base, q, SearchOptions{})
+		if err != nil {
+			t.Fatalf("trial %d base: %v", trial, err)
+		}
+		hi, _, err := TopKRoutes(context.Background(), g, dom, q, SearchOptions{})
+		if err != nil {
+			t.Fatalf("trial %d dominated: %v", trial, err)
+		}
+		if len(lo) == 0 {
+			continue
+		}
+		if len(hi) == 0 {
+			t.Fatalf("trial %d: dominating interests lost all routes", trial)
+		}
+		if hi[0].Score < lo[0].Score {
+			t.Fatalf("trial %d: top score regressed %v -> %v under dominating interests",
+				trial, lo[0].Score, hi[0].Score)
+		}
+	}
+}
+
+// Raising K never changes the routes already returned: the top-k answer
+// is a prefix of the top-(k+m) answer.
+func TestRoutesKPrefixStability(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		g, interests, q := randomRouteSetup(t, trial)
+		interest := func(sid network.SegmentID) float64 { return interests[sid] }
+		q.K = 2
+		two, _, err := TopKRoutes(context.Background(), g, interest, q, SearchOptions{})
+		if err != nil {
+			t.Fatalf("trial %d k=2: %v", trial, err)
+		}
+		q.K = 5
+		five, _, err := TopKRoutes(context.Background(), g, interest, q, SearchOptions{})
+		if err != nil {
+			t.Fatalf("trial %d k=5: %v", trial, err)
+		}
+		if len(five) < len(two) {
+			t.Fatalf("trial %d: k=5 returned fewer routes (%d) than k=2 (%d)", trial, len(five), len(two))
+		}
+		for i := range two {
+			if !sameRoute(two[i], five[i]) {
+				t.Fatalf("trial %d rank %d: k=2 route %+v != k=5 route %+v", trial, i, two[i], five[i])
+			}
+		}
+	}
+}
+
+func sameRoute(a, b Route) bool {
+	if math.Float64bits(a.Score) != math.Float64bits(b.Score) ||
+		math.Float64bits(a.Length) != math.Float64bits(b.Length) ||
+		math.Float64bits(a.Interest) != math.Float64bits(b.Interest) ||
+		len(a.Vertices) != len(b.Vertices) || len(a.Segments) != len(b.Segments) {
+		return false
+	}
+	for i := range a.Vertices {
+		if a.Vertices[i] != b.Vertices[i] {
+			return false
+		}
+	}
+	for i := range a.Segments {
+		if a.Segments[i] != b.Segments[i] {
+			return false
+		}
+	}
+	return true
+}

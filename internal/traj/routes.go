@@ -1,0 +1,366 @@
+package traj
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/faults"
+	"repro/internal/network"
+)
+
+// RouteQuery asks for the k most interesting loopless routes between two
+// network vertices under a walking-length budget. The score of a route
+// blends accumulated segment interest with travel cost:
+//
+//	score = Σ interest(ℓ) over traversed segments − α · length
+//
+// α = 0 ranks purely by collected interest; larger α penalizes detours.
+type RouteQuery struct {
+	Src, Dst network.VertexID
+	// K is the number of routes to return.
+	K int
+	// Budget caps the route's total walking length (segments plus
+	// connectors), in coordinate units.
+	Budget float64
+	// Alpha is the travel-cost weight α (per unit length).
+	Alpha float64
+}
+
+// Validate reports whether the query is well formed for the graph.
+func (q RouteQuery) Validate(g *Graph) error {
+	if q.K <= 0 {
+		return fmt.Errorf("traj: non-positive k %d", q.K)
+	}
+	if q.Budget <= 0 {
+		return fmt.Errorf("traj: non-positive budget %v", q.Budget)
+	}
+	if q.Alpha < 0 {
+		return fmt.Errorf("traj: negative alpha %v", q.Alpha)
+	}
+	if int(q.Src) >= g.NumVertices() || int(q.Dst) >= g.NumVertices() {
+		return fmt.Errorf("traj: vertex out of range (src=%d dst=%d of %d)", q.Src, q.Dst, g.NumVertices())
+	}
+	return nil
+}
+
+// Route is one ranked answer of a k-routes query: a vertex-simple path
+// from source to destination.
+type Route struct {
+	// Vertices is the walked vertex sequence, source first.
+	Vertices []network.VertexID
+	// Segments are the traversed street segments in walk order
+	// (connector hops contribute length but no segment).
+	Segments []network.SegmentID
+	// Length is the total walked length including connectors.
+	Length float64
+	// Interest is the summed segment interest collected along the path,
+	// accumulated in traversal order.
+	Interest float64
+	// Score is Interest − α·Length, the ranking key.
+	Score float64
+}
+
+// SearchStats reports the work one route search performed.
+type SearchStats struct {
+	// Expansions counts partial paths popped from the frontier.
+	Expansions int
+	// Generated counts partial paths pushed onto the frontier.
+	Generated int
+	// PrunedBudget counts extensions discarded because no completion
+	// within the length budget is possible (exact overrun, or the
+	// Dijkstra remaining-distance bound).
+	PrunedBudget int
+	// PrunedBound counts partials discarded because their admissible
+	// score upper bound fell below the current kth-best completion.
+	PrunedBound int
+	// Completed counts source→destination paths found within budget.
+	Completed int
+}
+
+// SearchOptions tunes the search's resource guards.
+type SearchOptions struct {
+	// MaxExpansions bounds frontier pops before the search gives up with
+	// ErrSearchBudget; 0 means DefaultMaxExpansions.
+	MaxExpansions int
+}
+
+// DefaultMaxExpansions is the expansion guard used when SearchOptions
+// leaves it zero — far above any harness world, low enough to bound a
+// pathological serving query.
+const DefaultMaxExpansions = 500_000
+
+// ErrSearchBudget is returned when the search exceeds its expansion
+// guard before the frontier drains.
+var ErrSearchBudget = errors.New("traj: route search exceeded its expansion budget")
+
+// ctxPollInterval is how many frontier pops pass between context polls.
+const ctxPollInterval = 64
+
+// boundSlack is the relative slack the bound-pruning test concedes to
+// floating point: a partial is pruned only when its upper bound is below
+// the kth-best score by more than this relative margin, so last-bit
+// rounding in the (admissible) bound can never eliminate a true top-k
+// path. Pruning therefore only removes strict losers, and the final
+// canonical sort makes the answer independent of pruning decisions.
+const boundSlack = 1e-9
+
+// partial is one frontier entry: a vertex-simple path from the source.
+type partial struct {
+	verts    []network.VertexID
+	segs     []network.SegmentID
+	length   float64
+	interest float64
+	// ub is the admissible score upper bound: every positive interest
+	// not yet collected, minus the travel cost already paid.
+	ub float64
+}
+
+// frontier orders partials best-first: upper bound descending, then
+// length ascending, then lexicographic vertex sequence — a total,
+// deterministic order.
+type frontier []*partial
+
+func (f frontier) Len() int { return len(f) }
+func (f frontier) Less(i, j int) bool {
+	a, b := f[i], f[j]
+	if a.ub != b.ub {
+		return a.ub > b.ub
+	}
+	if a.length != b.length {
+		return a.length < b.length
+	}
+	return lessVertSeq(a.verts, b.verts)
+}
+func (f frontier) Swap(i, j int)       { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x interface{}) { *f = append(*f, x.(*partial)) }
+func (f *frontier) Pop() interface{} {
+	old := *f
+	n := len(old)
+	p := old[n-1]
+	*f = old[:n-1]
+	return p
+}
+
+func lessVertSeq(a, b []network.VertexID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func lessSegSeq(a, b []network.SegmentID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// SortRoutes puts routes in the canonical answer order: score
+// descending, then length ascending, then lexicographic vertex sequence,
+// then lexicographic segment sequence (parallel edges). Both the pruned
+// search and the brute-force oracle finish with this sort, so their
+// answers are comparable rank by rank.
+func SortRoutes(rs []Route) {
+	sortRoutesBy(rs, func(a, b Route) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Length != b.Length {
+			return a.Length < b.Length
+		}
+		if v := lessVertSeq(a.Vertices, b.Vertices); v || lessVertSeq(b.Vertices, a.Vertices) {
+			return v
+		}
+		return lessSegSeq(a.Segments, b.Segments)
+	})
+}
+
+func sortRoutesBy(rs []Route, less func(a, b Route) bool) {
+	// Insertion sort: route lists are small (k plus survivors) and the
+	// comparator is total, so stability concerns do not arise.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && less(rs[j], rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// TopKRoutes runs the best-first k most interesting routes search. The
+// frontier holds vertex-simple partial paths ordered by an admissible
+// score upper bound; partials are pruned when they cannot reach the
+// destination within the budget (Dijkstra remaining-distance bound) or
+// when their upper bound falls below the kth-best completed score by
+// more than a float-safety margin. Interest and length are accumulated
+// strictly in traversal order, so a route's score is bit-identical to
+// the brute-force oracle's for the same path, and the canonical final
+// sort makes the ranking independent of exploration order.
+//
+// An unreachable source/destination pair yields an empty answer, not an
+// error. The search observes ctx at a cooperative polling interval.
+func TopKRoutes(ctx context.Context, g *Graph, interest InterestFunc, q RouteQuery, opt SearchOptions) ([]Route, SearchStats, error) {
+	var st SearchStats
+	if err := q.Validate(g); err != nil {
+		return nil, st, err
+	}
+	maxExp := opt.MaxExpansions
+	if maxExp <= 0 {
+		maxExp = DefaultMaxExpansions
+	}
+
+	distToDst := g.Distances(q.Dst)
+	if math.IsInf(distToDst[q.Src], 1) {
+		return []Route{}, st, nil
+	}
+
+	// Exact per-segment interests, computed once; posTotal is the sum of
+	// every positive interest — the "everything still collectible" part
+	// of the admissible upper bound.
+	interests := make([]float64, g.net.NumSegments())
+	var posTotal float64
+	for sid := range interests {
+		interests[sid] = interest(network.SegmentID(sid))
+		if interests[sid] > 0 {
+			posTotal += interests[sid]
+		}
+	}
+
+	budgetCap := q.Budget * (1 + boundSlack)
+	var completions []Route
+	// top holds the k best completion scores; threshold is its minimum
+	// once full.
+	var top scoreHeap
+	threshold := math.Inf(-1)
+
+	f := frontier{&partial{
+		verts: []network.VertexID{q.Src},
+		ub:    posTotal,
+	}}
+	heap.Init(&f)
+
+	for f.Len() > 0 {
+		if st.Expansions%ctxPollInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, st, err
+			}
+		}
+		if err := faults.InjectCtx(ctx, "traj.search"); err != nil {
+			return nil, st, err
+		}
+		if st.Expansions >= maxExp {
+			return nil, st, fmt.Errorf("%w (%d expansions)", ErrSearchBudget, st.Expansions)
+		}
+		p := heap.Pop(&f).(*partial)
+		st.Expansions++
+		if belowThreshold(p.ub, threshold) {
+			st.PrunedBound++
+			continue
+		}
+		last := p.verts[len(p.verts)-1]
+		if last == q.Dst {
+			// A vertex-simple path cannot revisit the destination, so
+			// this partial is exactly one completed route.
+			score := p.interest - q.Alpha*p.length
+			completions = append(completions, Route{
+				Vertices: p.verts,
+				Segments: p.segs,
+				Length:   p.length,
+				Interest: p.interest,
+				Score:    score,
+			})
+			st.Completed++
+			if top.Len() < q.K {
+				heap.Push(&top, score)
+			} else if score > top[0] {
+				top[0] = score
+				heap.Fix(&top, 0)
+			}
+			if top.Len() == q.K {
+				threshold = top[0]
+			}
+			continue
+		}
+		for _, e := range g.adj[last] {
+			if containsVert(p.verts, e.To) {
+				continue // loopless: vertex-simple paths only
+			}
+			newLen := p.length + e.Len
+			if newLen > q.Budget {
+				st.PrunedBudget++
+				continue // the exact budget rule, identical to the oracle
+			}
+			if newLen+distToDst[e.To] > budgetCap {
+				st.PrunedBudget++
+				continue // cannot reach dst within budget (slack-guarded)
+			}
+			newInterest := p.interest
+			if e.Seg != ConnectorSeg {
+				newInterest += interests[e.Seg]
+			}
+			ub := posTotal - q.Alpha*newLen
+			if belowThreshold(ub, threshold) {
+				st.PrunedBound++
+				continue
+			}
+			child := &partial{
+				verts:    append(append(make([]network.VertexID, 0, len(p.verts)+1), p.verts...), e.To),
+				segs:     p.segs,
+				length:   newLen,
+				interest: newInterest,
+				ub:       ub,
+			}
+			if e.Seg != ConnectorSeg {
+				child.segs = append(append(make([]network.SegmentID, 0, len(p.segs)+1), p.segs...), network.SegmentID(e.Seg))
+			}
+			heap.Push(&f, child)
+			st.Generated++
+		}
+	}
+
+	SortRoutes(completions)
+	if len(completions) > q.K {
+		completions = completions[:q.K]
+	}
+	return completions, st, nil
+}
+
+// belowThreshold reports whether an admissible upper bound is so far
+// under the kth-best score that the partial can be discarded even after
+// conceding a relative float-rounding margin.
+func belowThreshold(ub, threshold float64) bool {
+	if math.IsInf(threshold, -1) {
+		return false
+	}
+	slack := boundSlack * (math.Abs(ub) + math.Abs(threshold) + 1)
+	return ub+slack < threshold
+}
+
+func containsVert(vs []network.VertexID, v network.VertexID) bool {
+	for _, u := range vs {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// scoreHeap is a min-heap of the best completion scores seen so far.
+type scoreHeap []float64
+
+func (h scoreHeap) Len() int            { return len(h) }
+func (h scoreHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h scoreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scoreHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *scoreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

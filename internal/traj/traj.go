@@ -1,0 +1,239 @@
+// Package traj opens the trajectory query family over the road network:
+// the k most interesting routes between two points (a best-first path
+// search whose edge weight blends travel cost with per-segment interest
+// mass) and trajectory-aware SOI (streets ranked by interest restricted
+// to corridors actually traveled by user movement traces).
+//
+// Both queries are deliberately split from their inputs' provenance: the
+// search and the matcher consume a per-segment interest function, so the
+// production engine can plug in the slab index's segment mass folds while
+// the brute-force oracle plugs in its exhaustive pairwise scan. Because
+// the index's SegmentMass is pinned bit-identical to the oracle's (the
+// metamorphic suite's per-segment differential), the two sides feed the
+// search identical floats — any disagreement in the answers isolates a
+// bug in the search or the pruning, which is exactly what the
+// differential harness wants to test.
+//
+// Determinism contract: every result list is canonically ordered (score
+// descending, then length ascending, then lexicographic vertex sequence
+// for routes; score descending then ascending street id for corridor
+// rankings), path sums are accumulated in traversal order, and all
+// tie-breaks are explicit — so answers are reproducible bit for bit
+// across runs, worker counts and pruning decisions.
+package traj
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/network"
+)
+
+// InterestFunc returns the exact interest of one segment under the
+// query's keyword set and ε (Def. 2). The production engine backs it
+// with the index's segment mass fold; the oracle with an exhaustive
+// scan. It must be deterministic and non-negative.
+type InterestFunc func(sid network.SegmentID) float64
+
+// ConnectorSeg marks an adjacency edge that is a pedestrian connector
+// between two near-miss vertices rather than a street segment.
+const ConnectorSeg = int32(-1)
+
+// Edge is one adjacency entry of the trajectory graph.
+type Edge struct {
+	To network.VertexID
+	// Seg is the traversed segment id, or ConnectorSeg.
+	Seg int32
+	// Len is the edge's walking length.
+	Len float64
+}
+
+// Graph is the adjacency-list view of the network the trajectory queries
+// search over: every street segment as a bidirectional edge plus
+// pedestrian connectors joining vertices closer than the snap radius.
+// Adjacency lists are canonically sorted (ascending target vertex, then
+// ascending segment id), so exploration order is deterministic.
+type Graph struct {
+	net *network.Network
+	adj [][]Edge
+}
+
+// NewGraph builds the trajectory graph. A positive snap joins every
+// vertex pair closer than snap with a connector edge weighted by its
+// Euclidean distance (grid-bucketed, so construction is near-linear);
+// snap <= 0 keeps only street segments.
+func NewGraph(net *network.Network, snap float64) *Graph {
+	g := &Graph{net: net, adj: make([][]Edge, net.NumVertices())}
+	for _, seg := range net.Segments() {
+		g.adj[seg.From] = append(g.adj[seg.From], Edge{To: seg.To, Seg: int32(seg.ID), Len: seg.Length()})
+		g.adj[seg.To] = append(g.adj[seg.To], Edge{To: seg.From, Seg: int32(seg.ID), Len: seg.Length()})
+	}
+	if snap > 0 && net.NumVertices() > 0 {
+		type cellKey struct{ x, y int32 }
+		buckets := make(map[cellKey][]network.VertexID)
+		keyOf := func(v network.VertexID) cellKey {
+			p := net.Vertex(v)
+			return cellKey{int32(math.Floor(p.X / snap)), int32(math.Floor(p.Y / snap))}
+		}
+		for v := 0; v < net.NumVertices(); v++ {
+			k := keyOf(network.VertexID(v))
+			buckets[k] = append(buckets[k], network.VertexID(v))
+		}
+		for v := 0; v < net.NumVertices(); v++ {
+			vid := network.VertexID(v)
+			pv := net.Vertex(vid)
+			k := keyOf(vid)
+			for dx := int32(-1); dx <= 1; dx++ {
+				for dy := int32(-1); dy <= 1; dy++ {
+					for _, u := range buckets[cellKey{k.x + dx, k.y + dy}] {
+						if u <= vid {
+							continue // each pair once, no self loops
+						}
+						if d := pv.Dist(net.Vertex(u)); d <= snap {
+							g.adj[vid] = append(g.adj[vid], Edge{To: u, Seg: ConnectorSeg, Len: d})
+							g.adj[u] = append(g.adj[u], Edge{To: vid, Seg: ConnectorSeg, Len: d})
+						}
+					}
+				}
+			}
+		}
+	}
+	for v := range g.adj {
+		es := g.adj[v]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].To != es[j].To {
+				return es[i].To < es[j].To
+			}
+			return es[i].Seg < es[j].Seg
+		})
+	}
+	return g
+}
+
+// Network returns the underlying road network.
+func (g *Graph) Network() *network.Network { return g.net }
+
+// Adjacent returns the canonical adjacency list of a vertex. The slice
+// is shared with the graph and must not be mutated.
+func (g *Graph) Adjacent(v network.VertexID) []Edge { return g.adj[v] }
+
+// NumVertices returns the graph's vertex count.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// DefaultSnapFactor sizes the connector snap radius relative to the
+// network's mean segment length. It is deliberately tighter than the
+// tour planner's 1.5 so the path search's branching factor stays small.
+const DefaultSnapFactor = 0.75
+
+// DefaultSnap returns the connector snap radius used when callers have
+// no better estimate: DefaultSnapFactor times the mean segment length
+// (0 for an empty network).
+func DefaultSnap(net *network.Network) float64 {
+	st := net.Stats()
+	if st.NumSegments == 0 {
+		return 0
+	}
+	return DefaultSnapFactor * st.TotalLen / float64(st.NumSegments)
+}
+
+// NearestVertex snaps a free point to the network vertex nearest to it,
+// breaking exact distance ties by the lowest vertex id. The boolean is
+// false only for an empty network.
+func NearestVertex(net *network.Network, p geo.Point) (network.VertexID, bool) {
+	if net.NumVertices() == 0 {
+		return 0, false
+	}
+	best := network.VertexID(0)
+	bestD := p.DistSq(net.Vertex(0))
+	for v := 1; v < net.NumVertices(); v++ {
+		if d := p.DistSq(net.Vertex(network.VertexID(v))); d < bestD {
+			best, bestD = network.VertexID(v), d
+		}
+	}
+	return best, true
+}
+
+// Distances runs Dijkstra from src over the graph, returning the
+// shortest walking distance to every vertex (+Inf when unreachable).
+// The route search uses it as the admissible remaining-distance bound
+// for budget-feasibility pruning.
+func (g *Graph) Distances(src network.VertexID) []float64 {
+	dist := make([]float64, len(g.adj))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if int(src) >= len(g.adj) {
+		return dist
+	}
+	dist[src] = 0
+	h := &distHeap{{v: src, d: 0}}
+	for h.Len() > 0 {
+		it := h.pop()
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, e := range g.adj[it.v] {
+			if nd := it.d + e.Len; nd < dist[e.To] {
+				dist[e.To] = nd
+				h.push(distItem{v: e.To, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v network.VertexID
+	d float64
+}
+
+// distHeap is a minimal binary min-heap over (distance, vertex).
+type distHeap []distItem
+
+func (h distHeap) Len() int { return len(h) }
+
+func (h *distHeap) push(it distItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h)[i].less((*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() distItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h)[l].less((*h)[smallest]) {
+			smallest = l
+		}
+		if r < n && (*h)[r].less((*h)[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+func (a distItem) less(b distItem) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.v < b.v
+}

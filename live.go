@@ -98,7 +98,7 @@ func NewLiveEngine(streets []StreetInput, pois []POIInput, photos []PhotoInput, 
 		Recorder:     rec,
 		Source:       ing,
 	})
-	return &Engine{net: net, photos: phc, dict: dict, exec: exec, rec: rec, ing: ing}, nil
+	return &Engine{net: net, photos: phc, dict: dict, exec: exec, rec: rec, ing: ing, trajCfg: cfg.Config}, nil
 }
 
 // NewLiveEngineFromCorpora is NewLiveEngine over already-built internal
@@ -146,7 +146,7 @@ func NewLiveEngineFromCorpora(net *network.Network, pois *poi.Corpus, photos *ph
 		Recorder:     rec,
 		Source:       ing,
 	})
-	return &Engine{net: net, photos: photos, dict: photos.Dict(), exec: exec, rec: rec, ing: ing}, nil
+	return &Engine{net: net, photos: photos, dict: photos.Dict(), exec: exec, rec: rec, ing: ing, trajCfg: cfg.Config}, nil
 }
 
 // Live reports whether the engine accepts POI writes.

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/poi"
 	"repro/internal/route"
 	"repro/internal/stats"
+	"repro/internal/traj"
 	"repro/internal/vocab"
 )
 
@@ -190,6 +192,15 @@ type Engine struct {
 	photoIdxOnce sync.Once
 	photoIdx     *diversify.PhotoIndex
 	photoIdxErr  error
+
+	// Trajectory query family (traj.go): lazily built search graph and
+	// a dedicated admission gate mirroring the executor's contract.
+	trajCfg      Config
+	trajOnce     sync.Once
+	trajG        *traj.Graph
+	trajGateOnce sync.Once
+	trajGate     chan struct{}
+	trajWaiters  atomic.Int64
 }
 
 // ErrUnknownStreet is returned by DescribeStreet for a street name that
@@ -281,7 +292,7 @@ func newEngineWithIndex(net *network.Network, pois *poi.Corpus, photos *photo.Co
 		QueryTimeout: cfg.QueryTimeout,
 		Recorder:     rec,
 	})
-	return &Engine{net: net, pois: pois, photos: photos, dict: dict, index: ix, exec: exec, rec: rec}
+	return &Engine{net: net, pois: pois, photos: photos, dict: dict, index: ix, exec: exec, rec: rec, trajCfg: cfg}
 }
 
 // Warm precomputes the ε-dependent index structures so that subsequent
@@ -477,6 +488,14 @@ type TourStop struct {
 	Walk float64
 }
 
+// UnreachedStreet is a k-SOI result street the tour planner dropped
+// because no path connects it to the tour (it lies in a disconnected
+// component of the walking graph), with its forgone interest.
+type UnreachedStreet struct {
+	Street   string
+	Interest float64
+}
+
 // Tour is a recommended walking route over streets of interest.
 type Tour struct {
 	Stops []TourStop
@@ -484,6 +503,9 @@ type Tour struct {
 	Length float64
 	// Interest is the summed interest of the visited streets.
 	Interest float64
+	// Unreached lists result streets the planner could not connect to
+	// the tour at all; streets merely over budget are not listed.
+	Unreached []UnreachedStreet
 }
 
 // RecommendTour implements the paper's future-work extension: evaluate
@@ -531,6 +553,9 @@ func (e *Engine) RecommendTourCtx(ctx context.Context, q Query, budget float64) 
 			Interest: s.Interest,
 			Walk:     s.Approach.Length,
 		})
+	}
+	for _, u := range tour.Unreached {
+		out.Unreached = append(out.Unreached, UnreachedStreet{Street: u.Name, Interest: u.Interest})
 	}
 	return out, nil
 }

@@ -1,0 +1,284 @@
+package soi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/network"
+	"repro/internal/traj"
+)
+
+// This file wires the trajectory query family (internal/traj) into the
+// public engine: k most interesting routes between two points, and
+// trajectory-aware SOI over user movement traces. Both run behind their
+// own admission gate with the same shed/timeout/panic-isolation contract
+// as the k-SOI executor, and both resolve the serving index per query so
+// live engines answer against the currently published epoch.
+
+// RouteQuery asks for the k most interesting walking routes between two
+// free points, which are snapped to their nearest network vertices.
+type RouteQuery struct {
+	Src, Dst Point
+	// Keywords select the POIs whose interest the route collects.
+	Keywords []string
+	// K is the number of routes to return.
+	K int
+	// Epsilon is the segment-interest distance threshold ε.
+	Epsilon float64
+	// Budget caps the route's total walking length (coordinate units).
+	Budget float64
+	// Alpha is the travel-cost weight: route score = interest − α·length.
+	Alpha float64
+}
+
+// RouteResult is one ranked route of a TopRoutes answer.
+type RouteResult struct {
+	// Polyline is the walked vertex sequence as coordinates.
+	Polyline []Point
+	// Streets names the traversed streets in walk order, consecutive
+	// duplicates collapsed.
+	Streets []string
+	// Length is the total walked length; Interest the collected segment
+	// interest; Score = Interest − α·Length.
+	Length   float64
+	Interest float64
+	Score    float64
+}
+
+// TrajectoryQuery ranks streets by interest restricted to corridors the
+// given movement traces actually traveled.
+type TrajectoryQuery struct {
+	// Traces are the movement polylines.
+	Traces [][]Point
+	// Keywords select the POIs contributing interest.
+	Keywords []string
+	// K is the number of streets to return.
+	K int
+	// Epsilon is the segment-interest distance threshold ε.
+	Epsilon float64
+	// Radius is the map-matching snap radius; 0 means a default derived
+	// from the network's mean segment length.
+	Radius float64
+}
+
+// CorridorStreet is one ranked street of a TrajectorySOI answer.
+type CorridorStreet struct {
+	Name string
+	// Coverage is the traveled fraction of the street in (0, 1].
+	Coverage float64
+	// Interest is the maximum segment interest among traveled segments.
+	Interest float64
+	// Score = Coverage × Interest.
+	Score float64
+}
+
+// ErrNoTraces is returned by TrajectorySOI when the query has no traces.
+var ErrNoTraces = errors.New("soi: trajectory query has no traces")
+
+// trajGraph lazily builds the shared trajectory search graph.
+func (e *Engine) trajGraphLazy() *traj.Graph {
+	e.trajOnce.Do(func() {
+		e.trajG = traj.NewGraph(e.net, traj.DefaultSnap(e.net))
+	})
+	return e.trajG
+}
+
+// servingIndex resolves the index queries should run against: the
+// currently published epoch for live engines, the static index otherwise.
+func (e *Engine) servingIndex() *core.Index {
+	if e.ing != nil {
+		return e.ing.Current().Index()
+	}
+	return e.index
+}
+
+// trajAcquire admits one trajectory query: it bounds concurrency to the
+// engine's worker count, sheds when the wait queue is over depth or the
+// max queue wait elapses (ErrOverloaded), and applies the per-query
+// timeout. The returned release func must be called exactly once; the
+// returned context must be used for the query body.
+func (e *Engine) trajAcquire(ctx context.Context) (context.Context, context.CancelFunc, func(), error) {
+	gate := e.trajGateLazy()
+	cfg := e.trajCfg
+	if cfg.QueueDepth > 0 && e.trajWaiters.Load() >= int64(cfg.QueueDepth) {
+		e.rec.Traj.Shed.Add(1)
+		return nil, nil, nil, ErrOverloaded
+	}
+	e.trajWaiters.Add(1)
+	defer e.trajWaiters.Add(-1)
+
+	var waitC <-chan time.Time
+	if cfg.MaxQueueWait > 0 {
+		t := time.NewTimer(cfg.MaxQueueWait)
+		defer t.Stop()
+		waitC = t.C
+	}
+	select {
+	case gate <- struct{}{}:
+	case <-waitC:
+		e.rec.Traj.Shed.Add(1)
+		return nil, nil, nil, ErrOverloaded
+	case <-ctx.Done():
+		e.trajOutcome(ctx.Err())
+		return nil, nil, nil, ctx.Err()
+	}
+	qctx, cancel := ctx, context.CancelFunc(func() {})
+	if cfg.QueryTimeout > 0 {
+		qctx, cancel = context.WithTimeout(ctx, cfg.QueryTimeout)
+	}
+	release := func() { <-gate }
+	return qctx, cancel, release, nil
+}
+
+func (e *Engine) trajGateLazy() chan struct{} {
+	e.trajGateOnce.Do(func() {
+		n := e.trajCfg.Workers
+		if n <= 0 {
+			n = defaultTrajWorkers
+		}
+		e.trajGate = make(chan struct{}, n)
+	})
+	return e.trajGate
+}
+
+const defaultTrajWorkers = 4
+
+// trajOutcome folds a query error into the admission-outcome counters.
+func (e *Engine) trajOutcome(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		e.rec.Traj.Cancelled.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		e.rec.Traj.DeadlineExceeded.Add(1)
+	}
+}
+
+// TopRoutes evaluates the k most interesting routes query.
+func (e *Engine) TopRoutes(q RouteQuery) ([]RouteResult, error) {
+	return e.TopRoutesCtx(context.Background(), q)
+}
+
+// TopRoutesCtx is TopRoutes under a context: the search observes
+// cancellation at cooperative checkpoints, the engine's QueryTimeout
+// bounds it, and an overloaded engine sheds with ErrOverloaded.
+func (e *Engine) TopRoutesCtx(ctx context.Context, q RouteQuery) (result []RouteResult, err error) {
+	e.rec.Traj.RouteQueries.Add(1)
+	qctx, cancel, release, err := e.trajAcquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	defer release()
+	defer func() {
+		if v := recover(); v != nil {
+			e.rec.Traj.PanicsRecovered.Add(1)
+			result, err = nil, &PanicError{Value: v}
+		}
+	}()
+	start := time.Now()
+	defer func() { e.rec.Traj.SearchNanos.Add(time.Since(start).Nanoseconds()) }()
+
+	g := e.trajGraphLazy()
+	src, ok := traj.NearestVertex(e.net, geo.Pt(q.Src.X, q.Src.Y))
+	if !ok {
+		return nil, errors.New("soi: empty network")
+	}
+	dst, _ := traj.NearestVertex(e.net, geo.Pt(q.Dst.X, q.Dst.Y))
+	ix := e.servingIndex()
+	set, _ := ix.POIs().Dict().LookupAll(q.Keywords)
+	tq := traj.RouteQuery{Src: src, Dst: dst, K: q.K, Budget: q.Budget, Alpha: q.Alpha}
+	routes, st, err := traj.TopKRoutes(qctx, g, func(sid network.SegmentID) float64 {
+		return ix.SegmentInterest(sid, set, q.Epsilon)
+	}, tq, traj.SearchOptions{})
+	e.rec.Traj.Expansions.Add(int64(st.Expansions))
+	if err != nil {
+		e.trajOutcome(err)
+		return nil, err
+	}
+	out := make([]RouteResult, len(routes))
+	for i, r := range routes {
+		out[i] = toRouteResult(e.net, r)
+	}
+	return out, nil
+}
+
+func toRouteResult(net *network.Network, r traj.Route) RouteResult {
+	res := RouteResult{Length: r.Length, Interest: r.Interest, Score: r.Score}
+	for _, v := range r.Vertices {
+		p := net.Vertex(v)
+		res.Polyline = append(res.Polyline, Point{X: p.X, Y: p.Y})
+	}
+	for _, sid := range r.Segments {
+		name := net.Street(net.Segment(sid).Street).Name
+		if n := len(res.Streets); n == 0 || res.Streets[n-1] != name {
+			res.Streets = append(res.Streets, name)
+		}
+	}
+	return res
+}
+
+// TrajectorySOI evaluates the trajectory-aware SOI query.
+func (e *Engine) TrajectorySOI(q TrajectoryQuery) ([]CorridorStreet, error) {
+	return e.TrajectorySOICtx(context.Background(), q)
+}
+
+// TrajectorySOICtx is TrajectorySOI under a context, with the same
+// admission, timeout and panic-isolation contract as TopRoutesCtx.
+func (e *Engine) TrajectorySOICtx(ctx context.Context, q TrajectoryQuery) (result []CorridorStreet, err error) {
+	e.rec.Traj.TrajQueries.Add(1)
+	if len(q.Traces) == 0 {
+		return nil, ErrNoTraces
+	}
+	qctx, cancel, release, err := e.trajAcquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	defer release()
+	defer func() {
+		if v := recover(); v != nil {
+			e.rec.Traj.PanicsRecovered.Add(1)
+			result, err = nil, &PanicError{Value: v}
+		}
+	}()
+	start := time.Now()
+	defer func() { e.rec.Traj.MatchNanos.Add(time.Since(start).Nanoseconds()) }()
+
+	radius := q.Radius
+	if radius == 0 {
+		radius = traj.DefaultSnap(e.net)
+	}
+	if radius <= 0 {
+		return nil, fmt.Errorf("soi: non-positive match radius %v", radius)
+	}
+	traces := make([][]geo.Point, len(q.Traces))
+	for i, tr := range q.Traces {
+		pts := make([]geo.Point, len(tr))
+		for j, p := range tr {
+			pts[j] = geo.Pt(p.X, p.Y)
+		}
+		traces[i] = pts
+	}
+	ix := e.servingIndex()
+	set, _ := ix.POIs().Dict().LookupAll(q.Keywords)
+	m := traj.NewMatcher(e.net, radius)
+	res, st, err := traj.TrajectorySOI(qctx, m, func(sid network.SegmentID) float64 {
+		return ix.SegmentInterest(sid, set, q.Epsilon)
+	}, traj.TrajQuery{Traces: traces, K: q.K, Radius: radius})
+	e.rec.Traj.TracePoints.Add(int64(st.TracePoints))
+	e.rec.Traj.MatchedPoints.Add(int64(st.Matched))
+	if err != nil {
+		e.trajOutcome(err)
+		return nil, err
+	}
+	out := make([]CorridorStreet, len(res))
+	for i, r := range res {
+		out[i] = CorridorStreet{Name: r.Name, Coverage: r.Coverage, Interest: r.Interest, Score: r.Score}
+	}
+	return out, nil
+}

@@ -1,0 +1,227 @@
+package soi_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	soi "repro"
+	"repro/internal/faults"
+)
+
+// trajEngine builds a 3×3 street grid (spacing 0.001) with shop and cafe
+// POIs clustered on the middle horizontal street.
+func trajEngine(t *testing.T, cfg soi.Config) *soi.Engine {
+	t.Helper()
+	var streets []soi.StreetInput
+	for i := 0; i < 3; i++ {
+		y := float64(i) * 0.001
+		streets = append(streets, soi.StreetInput{
+			Name:     "H" + string(rune('0'+i)),
+			Polyline: []soi.Point{{X: 0, Y: y}, {X: 0.001, Y: y}, {X: 0.002, Y: y}},
+		})
+	}
+	for j := 0; j < 3; j++ {
+		x := float64(j) * 0.001
+		streets = append(streets, soi.StreetInput{
+			Name:     "V" + string(rune('0'+j)),
+			Polyline: []soi.Point{{X: x, Y: 0}, {X: x, Y: 0.001}, {X: x, Y: 0.002}},
+		})
+	}
+	var pois []soi.POIInput
+	for k := 0; k < 8; k++ {
+		x := 0.0002 + float64(k)*0.0002
+		pois = append(pois,
+			soi.POIInput{X: x, Y: 0.001, Keywords: []string{"shop"}},
+			soi.POIInput{X: x, Y: 0.00105, Keywords: []string{"cafe"}},
+		)
+	}
+	pois = append(pois, soi.POIInput{X: 0.0005, Y: 0, Keywords: []string{"shop"}})
+	photos := []soi.PhotoInput{{X: 0.001, Y: 0.001, Tags: []string{"shop"}}}
+	e, err := soi.NewEngine(streets, pois, photos, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineTopRoutes(t *testing.T) {
+	e := trajEngine(t, soi.Config{})
+	routes, err := e.TopRoutes(soi.RouteQuery{
+		Src: soi.Point{X: 0, Y: 0}, Dst: soi.Point{X: 0.002, Y: 0.002},
+		Keywords: []string{"shop"}, K: 3, Epsilon: 0.0005, Budget: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) == 0 {
+		t.Fatal("no routes")
+	}
+	for i, r := range routes {
+		if len(r.Polyline) < 2 || len(r.Streets) == 0 {
+			t.Fatalf("route %d missing geometry: %+v", i, r)
+		}
+		if r.Polyline[0] != (soi.Point{X: 0, Y: 0}) {
+			t.Fatalf("route %d starts at %+v", i, r.Polyline[0])
+		}
+		if last := r.Polyline[len(r.Polyline)-1]; last != (soi.Point{X: 0.002, Y: 0.002}) {
+			t.Fatalf("route %d ends at %+v", i, last)
+		}
+	}
+	// The grid's interest lives on H1: the best route should walk it.
+	found := false
+	for _, name := range routes[0].Streets {
+		if name == "H1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("best route %v skips the interesting street H1", routes[0].Streets)
+	}
+	snap := e.StatsSnapshot()
+	if snap.Traj.RouteQueries == 0 || snap.Traj.Expansions == 0 {
+		t.Fatalf("route counters not recorded: %+v", snap.Traj)
+	}
+}
+
+// Adding keywords can only add interest to every segment, so the best
+// route's score is monotone in the keyword set — exactly, not modulo
+// rounding, because each segment interest grows pointwise.
+func TestEngineRoutesKeywordSupersetMonotonicity(t *testing.T) {
+	e := trajEngine(t, soi.Config{})
+	q := soi.RouteQuery{
+		Src: soi.Point{X: 0, Y: 0}, Dst: soi.Point{X: 0.002, Y: 0.002},
+		Keywords: []string{"shop"}, K: 1, Epsilon: 0.0005, Budget: 0.02,
+	}
+	base, err := e.TopRoutes(q)
+	if err != nil || len(base) == 0 {
+		t.Fatalf("base query: routes=%d err=%v", len(base), err)
+	}
+	q.Keywords = []string{"shop", "cafe"}
+	super, err := e.TopRoutes(q)
+	if err != nil || len(super) == 0 {
+		t.Fatalf("superset query: routes=%d err=%v", len(super), err)
+	}
+	if super[0].Score < base[0].Score {
+		t.Fatalf("superset keywords lowered top score: %v -> %v", base[0].Score, super[0].Score)
+	}
+}
+
+func TestEngineTrajectorySOI(t *testing.T) {
+	e := trajEngine(t, soi.Config{})
+	res, err := e.TrajectorySOI(soi.TrajectoryQuery{
+		Traces: [][]soi.Point{{
+			{X: 0.0001, Y: 0.00101}, {X: 0.001, Y: 0.00099}, {X: 0.0019, Y: 0.00101},
+		}},
+		Keywords: []string{"shop"}, K: 5, Epsilon: 0.0005, Radius: 0.0003,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].Name != "H1" {
+		t.Fatalf("corridor ranking = %+v, want H1 first", res)
+	}
+	if res[0].Coverage <= 0 || res[0].Coverage > 1 {
+		t.Fatalf("coverage = %v", res[0].Coverage)
+	}
+	snap := e.StatsSnapshot()
+	if snap.Traj.TrajQueries == 0 || snap.Traj.TracePoints != 3 || snap.Traj.MatchedPoints == 0 {
+		t.Fatalf("trajectory counters not recorded: %+v", snap.Traj)
+	}
+
+	if _, err := e.TrajectorySOI(soi.TrajectoryQuery{Keywords: []string{"shop"}, K: 3}); !errors.Is(err, soi.ErrNoTraces) {
+		t.Fatalf("err = %v, want ErrNoTraces", err)
+	}
+}
+
+func TestEngineTrajShedsUnderLoad(t *testing.T) {
+	defer faults.Reset()
+	e := trajEngine(t, soi.Config{Workers: 1, QueueDepth: 1})
+	q := soi.RouteQuery{
+		Src: soi.Point{X: 0, Y: 0}, Dst: soi.Point{X: 0.002, Y: 0.002},
+		Keywords: []string{"shop"}, K: 1, Epsilon: 0.0005, Budget: 0.02,
+	}
+
+	block := make(chan struct{})
+	faults.Activate("traj.search", faults.Fault{Block: block})
+
+	// Query 1 takes the only worker slot and parks on the fault site.
+	done1 := make(chan error, 1)
+	go func() { _, err := e.TopRoutes(q); done1 <- err }()
+	waitFor(t, func() bool { return faults.Visits("traj.search") >= 1 })
+
+	// Query 2 fills the one queue slot.
+	done2 := make(chan error, 1)
+	go func() { _, err := e.TopRoutes(q); done2 <- err }()
+	time.Sleep(50 * time.Millisecond)
+
+	// Query 3 finds the queue full and is shed immediately.
+	if _, err := e.TopRoutes(q); !errors.Is(err, soi.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+
+	close(block)
+	if err := <-done1; err != nil {
+		t.Fatalf("query 1: %v", err)
+	}
+	if err := <-done2; err != nil {
+		t.Fatalf("query 2: %v", err)
+	}
+	if shed := e.StatsSnapshot().Traj.Shed; shed == 0 {
+		t.Fatal("shed counter not recorded")
+	}
+}
+
+func TestEngineTrajQueryTimeout(t *testing.T) {
+	defer faults.Reset()
+	e := trajEngine(t, soi.Config{QueryTimeout: 20 * time.Millisecond})
+	faults.Activate("traj.search", faults.Fault{Delay: 30 * time.Millisecond})
+	_, err := e.TopRoutes(soi.RouteQuery{
+		Src: soi.Point{X: 0, Y: 0}, Dst: soi.Point{X: 0.002, Y: 0.002},
+		Keywords: []string{"shop"}, K: 1, Epsilon: 0.0005, Budget: 0.02,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if n := e.StatsSnapshot().Traj.DeadlineExceeded; n == 0 {
+		t.Fatal("deadline counter not recorded")
+	}
+}
+
+func TestEngineTrajPanicIsolation(t *testing.T) {
+	defer faults.Reset()
+	e := trajEngine(t, soi.Config{})
+	faults.Activate("traj.search", faults.Fault{Panic: true, PanicValue: "boom", Times: 1})
+	_, err := e.TopRoutes(soi.RouteQuery{
+		Src: soi.Point{X: 0, Y: 0}, Dst: soi.Point{X: 0.002, Y: 0.002},
+		Keywords: []string{"shop"}, K: 1, Epsilon: 0.0005, Budget: 0.02,
+	})
+	var pe *soi.PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom" {
+		t.Fatalf("err = %v, want PanicError{boom}", err)
+	}
+	if n := e.StatsSnapshot().Traj.PanicsRecovered; n != 1 {
+		t.Fatalf("panics recovered = %d, want 1", n)
+	}
+	// The engine still serves after recovering.
+	faults.Deactivate("traj.search")
+	if _, err := e.TopRoutes(soi.RouteQuery{
+		Src: soi.Point{X: 0, Y: 0}, Dst: soi.Point{X: 0.002, Y: 0.002},
+		Keywords: []string{"shop"}, K: 1, Epsilon: 0.0005, Budget: 0.02,
+	}); err != nil {
+		t.Fatalf("query after recovery: %v", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
