@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 
 	"repro"
@@ -19,6 +20,11 @@ import (
 
 // maxTracePoints caps the summed trace points of one trajectory request.
 const maxTracePoints = 65536
+
+// finite rejects the NaN/±Inf request numerics that would otherwise
+// slip through sign checks (NaN compares false against everything) into
+// the query layer.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 type routesRequest struct {
 	Src      [2]float64 `json:"src"`
@@ -66,12 +72,18 @@ func (s *Server) handleRoutesTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("no keywords"))
 		return
 	}
-	if req.Budget <= 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("non-positive budget %v", req.Budget))
+	for _, c := range [...]float64{req.Src[0], req.Src[1], req.Dst[0], req.Dst[1]} {
+		if !finite(c) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("non-finite coordinate %v", c))
+			return
+		}
+	}
+	if req.Budget <= 0 || !finite(req.Budget) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("budget %v is not a positive finite number", req.Budget))
 		return
 	}
-	if req.Alpha < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("negative alpha %v", req.Alpha))
+	if req.Alpha < 0 || !finite(req.Alpha) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("alpha %v is not a non-negative finite number", req.Alpha))
 		return
 	}
 	k := req.K
@@ -86,8 +98,8 @@ func (s *Server) handleRoutesTopK(w http.ResponseWriter, r *http.Request) {
 	if eps == 0 {
 		eps = soi.DefaultCellSize
 	}
-	if eps < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("negative eps %v", eps))
+	if eps < 0 || !finite(eps) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("eps %v is not a non-negative finite number", eps))
 		return
 	}
 	routes, err := s.engine.TopRoutesCtx(r.Context(), soi.RouteQuery{
@@ -175,8 +187,8 @@ func (s *Server) handleTrajectorySOI(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("no keywords"))
 		return
 	}
-	if req.Radius < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("negative radius %v", req.Radius))
+	if req.Radius < 0 || !finite(req.Radius) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("radius %v is not a non-negative finite number", req.Radius))
 		return
 	}
 	k := req.K
@@ -191,8 +203,8 @@ func (s *Server) handleTrajectorySOI(w http.ResponseWriter, r *http.Request) {
 	if eps == 0 {
 		eps = soi.DefaultCellSize
 	}
-	if eps < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("negative eps %v", eps))
+	if eps < 0 || !finite(eps) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("eps %v is not a non-negative finite number", eps))
 		return
 	}
 	traces := make([][]soi.Point, len(req.Traces))

@@ -41,6 +41,8 @@ func TestRoutesTopKValidation(t *testing.T) {
 		`{"src":[0,0],"dst":[0.002,0],"keywords":["shop"],"budget":1,"alpha":-1}`, // negative alpha
 		`{"src":[0,0],"dst":[0.002,0],"keywords":["shop"],"budget":1,"k":-2}`,     // negative k
 		`{"src":[0,0],"dst":[0.002,0],"keywords":["shop"],"budget":1,"eps":-1}`,   // negative eps
+		`{"src":[0,0],"dst":[0.002,0],"keywords":["shop"],"budget":1e999}`,        // out-of-range budget
+		`{"src":[1e999,0],"dst":[0.002,0],"keywords":["shop"],"budget":1}`,        // out-of-range coordinate
 	}
 	for _, c := range cases {
 		rec, body := post(t, s, "/api/routes/topk", c)
@@ -91,6 +93,7 @@ func TestTrajectorySOIValidation(t *testing.T) {
 		`{"traces":[[[0,0]]],"keywords":["shop"],"radius":-1}`, // negative radius
 		`{"traces":[[[0,0]]],"keywords":["shop"],"k":-1}`,      // negative k
 		`{"traces":[[[0,0]]],"keywords":["shop"],"eps":-1}`,    // negative eps
+		`{"traces":[[[0,0]]],"keywords":["shop"],"radius":1e999}`, // out-of-range radius
 	}
 	for _, c := range cases {
 		rec, body := post(t, s, "/api/trajectories/soi", c)

@@ -28,6 +28,9 @@ func (q TrajQuery) Validate() error {
 	if q.K <= 0 {
 		return fmt.Errorf("traj: non-positive k %d", q.K)
 	}
+	if math.IsNaN(q.Radius) || math.IsInf(q.Radius, 0) {
+		return fmt.Errorf("traj: non-finite radius %v", q.Radius)
+	}
 	if q.Radius <= 0 {
 		return fmt.Errorf("traj: non-positive radius %v", q.Radius)
 	}
@@ -80,28 +83,45 @@ type Matcher struct {
 
 type matchCell struct{ x, y int32 }
 
+// maxMatchCellsPerDim bounds the matcher grid's resolution along each
+// axis relative to the network extent. The cell size is floored at
+// extent/maxMatchCellsPerDim, so an adversarially tiny snap radius
+// (radius is request-controlled on the serving path) cannot make grid
+// construction enumerate an unbounded number of cells — only the 3×3
+// lookup invariant (cell ≥ radius) matters for correctness, not cell
+// equality with the radius.
+const maxMatchCellsPerDim = 1024
+
 // NewMatcher builds the segment grid for one snap radius. The cell size
-// equals the radius, so any segment within radius of a point is bucketed
-// somewhere in the 3×3 cell block around it. Segments are bucketed into
-// every cell their bounding box overlaps.
+// is the radius floored at extent/maxMatchCellsPerDim; cell ≥ radius
+// guarantees any segment within radius of a point is bucketed somewhere
+// in the 3×3 cell block around it. Segments are bucketed into every
+// cell their bounding box overlaps. A non-positive or NaN radius yields
+// a matcher that matches nothing.
 func NewMatcher(net *network.Network, radius float64) *Matcher {
 	m := &Matcher{
 		net:     net,
 		radius:  radius,
 		r2:      radius * radius,
-		cell:    radius,
 		buckets: make(map[matchCell][]network.SegmentID),
 	}
-	if radius <= 0 {
+	if !(radius > 0) {
 		return m
+	}
+	m.cell = radius
+	nb := net.Bounds()
+	if extent := math.Max(nb.MaxX-nb.MinX, nb.MaxY-nb.MinY); extent > 0 {
+		if floor := extent / maxMatchCellsPerDim; m.cell < floor {
+			m.cell = floor
+		}
 	}
 	for i := range net.Segments() {
 		seg := net.Segment(network.SegmentID(i))
 		b := seg.Geom.Bounds()
-		x0 := int32(math.Floor(b.MinX / m.cell))
-		x1 := int32(math.Floor(b.MaxX / m.cell))
-		y0 := int32(math.Floor(b.MinY / m.cell))
-		y1 := int32(math.Floor(b.MaxY / m.cell))
+		x0 := cellIndex(b.MinX / m.cell)
+		x1 := cellIndex(b.MaxX / m.cell)
+		y0 := cellIndex(b.MinY / m.cell)
+		y1 := cellIndex(b.MaxY / m.cell)
 		for x := x0; x <= x1; x++ {
 			for y := y0; y <= y1; y++ {
 				k := matchCell{x, y}
@@ -114,17 +134,36 @@ func NewMatcher(net *network.Network, radius float64) *Matcher {
 	return m
 }
 
+// cellIndex converts a scaled coordinate to a grid index, clamping just
+// inside the int32 range instead of relying on Go's
+// implementation-defined overflowing float→int conversion. Staying one
+// off the extremes keeps the bucket-fill loop's x++ and the 3×3
+// lookup's ±1 neighbor arithmetic from wrapping. Clamping is monotone,
+// so two values within one cell of each other still land at most one
+// index apart — the property the 3×3 lookup needs.
+func cellIndex(v float64) int32 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v <= math.MinInt32+1:
+		return math.MinInt32 + 1
+	case v >= math.MaxInt32-1:
+		return math.MaxInt32 - 1
+	}
+	return int32(math.Floor(v))
+}
+
 // Radius returns the matcher's snap radius.
 func (m *Matcher) Radius() float64 { return m.radius }
 
 // Match snaps p to the nearest segment within the radius. The boolean is
 // false when no segment is close enough.
 func (m *Matcher) Match(p geo.Point) (network.SegmentID, bool) {
-	if m.radius <= 0 {
+	if !(m.radius > 0) {
 		return 0, false
 	}
-	cx := int32(math.Floor(p.X / m.cell))
-	cy := int32(math.Floor(p.Y / m.cell))
+	cx := cellIndex(p.X / m.cell)
+	cy := cellIndex(p.Y / m.cell)
 	var cands []network.SegmentID
 	for dx := int32(-1); dx <= 1; dx++ {
 		for dy := int32(-1); dy <= 1; dy++ {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/faults"
 	"repro/internal/network"
@@ -34,8 +35,14 @@ func (q RouteQuery) Validate(g *Graph) error {
 	if q.K <= 0 {
 		return fmt.Errorf("traj: non-positive k %d", q.K)
 	}
+	if math.IsNaN(q.Budget) || math.IsInf(q.Budget, 0) {
+		return fmt.Errorf("traj: non-finite budget %v", q.Budget)
+	}
 	if q.Budget <= 0 {
 		return fmt.Errorf("traj: non-positive budget %v", q.Budget)
+	}
+	if math.IsNaN(q.Alpha) || math.IsInf(q.Alpha, 0) {
+		return fmt.Errorf("traj: non-finite alpha %v", q.Alpha)
 	}
 	if q.Alpha < 0 {
 		return fmt.Errorf("traj: negative alpha %v", q.Alpha)
@@ -113,8 +120,12 @@ type partial struct {
 	segs     []network.SegmentID
 	length   float64
 	interest float64
-	// ub is the admissible score upper bound: every positive interest
-	// not yet collected, minus the travel cost already paid.
+	// remPos is the positive interest not yet collected by this path,
+	// over the budget-feasible segment set.
+	remPos float64
+	// ub is the admissible score upper bound: collected interest, plus
+	// the uncollected positive interest still collectible within the
+	// remaining budget, minus α times the best-case completed length.
 	ub float64
 }
 
@@ -194,10 +205,15 @@ func sortRoutesBy(rs []Route, less func(a, b Route) bool) {
 
 // TopKRoutes runs the best-first k most interesting routes search. The
 // frontier holds vertex-simple partial paths ordered by an admissible
-// score upper bound; partials are pruned when they cannot reach the
-// destination within the budget (Dijkstra remaining-distance bound) or
-// when their upper bound falls below the kth-best completed score by
-// more than a float-safety margin. Interest and length are accumulated
+// score upper bound — collected interest, plus the uncollected positive
+// interest still collectible within the remaining budget, minus α times
+// the best-case completed length (newLen + distToDst) — so the bound
+// keeps tightening, and therefore pruning, even at α = 0. Partials are
+// pruned when they cannot reach the destination within the budget
+// (Dijkstra remaining-distance bound) or when their upper bound falls
+// below the kth-best completed score by more than a float-safety
+// margin. Per-segment interests are only evaluated for segments some
+// budget-feasible path can traverse. Interest and length are accumulated
 // strictly in traversal order, so a route's score is bit-identical to
 // the brute-force oracle's for the same path, and the canonical final
 // sort makes the ranking independent of exploration order.
@@ -218,20 +234,67 @@ func TopKRoutes(ctx context.Context, g *Graph, interest InterestFunc, q RouteQue
 	if math.IsInf(distToDst[q.Src], 1) {
 		return []Route{}, st, nil
 	}
-
-	// Exact per-segment interests, computed once; posTotal is the sum of
-	// every positive interest — the "everything still collectible" part
-	// of the admissible upper bound.
-	interests := make([]float64, g.net.NumSegments())
-	var posTotal float64
-	for sid := range interests {
-		interests[sid] = interest(network.SegmentID(sid))
-		if interests[sid] > 0 {
-			posTotal += interests[sid]
-		}
-	}
+	distFromSrc := g.Distances(q.Src)
 
 	budgetCap := q.Budget * (1 + boundSlack)
+
+	// Exact per-segment interests, computed once — but only for segments
+	// some budget-feasible path can traverse (a directed edge u→v with
+	// distFromSrc[u] + len + distToDst[v] within the slack-extended
+	// budget). Every other segment is unreachable by the search, so its
+	// interest fold is never needed and contributes nothing to any bound.
+	interests := make([]float64, g.net.NumSegments())
+	evaluated := make([]bool, g.net.NumSegments())
+	// needs/prefixPos support the per-partial collectible bound: a
+	// completion suffix that traverses segment s and then reaches the
+	// destination is at least need(s) = len(s) + min(distToDst over s's
+	// endpoints) long, so a partial with remaining budget r can only
+	// still collect segments with need ≤ r. Sorting feasible positive
+	// interests by need with a prefix sum turns "positive interest still
+	// collectible within r" into one binary search.
+	type needEntry struct{ need, pos float64 }
+	var entries []needEntry
+	for u := range g.adj {
+		du := distFromSrc[u]
+		if math.IsInf(du, 1) {
+			continue
+		}
+		for _, e := range g.adj[u] {
+			if e.Seg == ConnectorSeg {
+				continue
+			}
+			if du+e.Len+distToDst[e.To] > budgetCap {
+				continue
+			}
+			if evaluated[e.Seg] {
+				continue
+			}
+			evaluated[e.Seg] = true
+			iv := interest(network.SegmentID(e.Seg))
+			interests[e.Seg] = iv
+			if iv > 0 {
+				entries = append(entries, needEntry{
+					need: e.Len + math.Min(distToDst[network.VertexID(u)], distToDst[e.To]),
+					pos:  iv,
+				})
+			}
+		}
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].need < entries[j].need })
+	needs := make([]float64, len(entries))
+	prefixPos := make([]float64, len(entries)+1)
+	for i, en := range entries {
+		needs[i] = en.need
+		prefixPos[i+1] = prefixPos[i] + en.pos
+	}
+	// reachPos bounds the positive interest collectible with remaining
+	// budget r. posTotal is reachPos over the whole budget: the sum of
+	// every feasible positive interest.
+	reachPos := func(r float64) float64 {
+		return prefixPos[sort.Search(len(needs), func(i int) bool { return needs[i] > r })]
+	}
+	posTotal := prefixPos[len(entries)]
+
 	var completions []Route
 	// top holds the k best completion scores; threshold is its minimum
 	// once full.
@@ -239,8 +302,9 @@ func TopKRoutes(ctx context.Context, g *Graph, interest InterestFunc, q RouteQue
 	threshold := math.Inf(-1)
 
 	f := frontier{&partial{
-		verts: []network.VertexID{q.Src},
-		ub:    posTotal,
+		verts:  []network.VertexID{q.Src},
+		remPos: posTotal,
+		ub:     posTotal - q.Alpha*distToDst[q.Src],
 	}}
 	heap.Init(&f)
 
@@ -300,10 +364,26 @@ func TopKRoutes(ctx context.Context, g *Graph, interest InterestFunc, q RouteQue
 				continue // cannot reach dst within budget (slack-guarded)
 			}
 			newInterest := p.interest
+			newRemPos := p.remPos
 			if e.Seg != ConnectorSeg {
-				newInterest += interests[e.Seg]
+				iv := interests[e.Seg]
+				newInterest += iv
+				if iv > 0 {
+					newRemPos -= iv
+				}
 			}
-			ub := posTotal - q.Alpha*newLen
+			// Admissible bound: any completion collects at most the
+			// uncollected positive interest (remPos) that is also still
+			// reachable within the remaining budget (reachPos), and walks
+			// at least distToDst further. Both restrictions only drop
+			// provably uncollectible interest, and the slack-guarded
+			// threshold test below absorbs float rounding, so no true
+			// top-k path is ever pruned.
+			rem := newRemPos
+			if rp := reachPos(budgetCap - newLen); rp < rem {
+				rem = rp
+			}
+			ub := newInterest + rem - q.Alpha*(newLen+distToDst[e.To])
 			if belowThreshold(ub, threshold) {
 				st.PrunedBound++
 				continue
@@ -313,6 +393,7 @@ func TopKRoutes(ctx context.Context, g *Graph, interest InterestFunc, q RouteQue
 				segs:     p.segs,
 				length:   newLen,
 				interest: newInterest,
+				remPos:   newRemPos,
 				ub:       ub,
 			}
 			if e.Seg != ConnectorSeg {

@@ -161,6 +161,10 @@ func TestRouteQueryValidation(t *testing.T) {
 		{Src: 0, Dst: 1, K: 1, Budget: 0},
 		{Src: 0, Dst: 1, K: 1, Budget: 5, Alpha: -1},
 		{Src: 0, Dst: 9999, K: 1, Budget: 5},
+		{Src: 0, Dst: 1, K: 1, Budget: math.NaN()},
+		{Src: 0, Dst: 1, K: 1, Budget: math.Inf(1)},
+		{Src: 0, Dst: 1, K: 1, Budget: 5, Alpha: math.NaN()},
+		{Src: 0, Dst: 1, K: 1, Budget: 5, Alpha: math.Inf(1)},
 	}
 	for i, q := range bad {
 		if _, _, err := TopKRoutes(ctx, g, hashInterest, q, SearchOptions{}); err == nil {
@@ -350,6 +354,60 @@ func TestMatcherMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// Regression: an adversarially tiny snap radius must not blow up grid
+// construction (the cell size is floored at extent/maxMatchCellsPerDim),
+// and matching must stay exact — on-segment points snap, anything
+// farther than the radius does not.
+func TestMatcherTinyRadiusBounded(t *testing.T) {
+	net := lattice(t, 4) // extent 3×3
+	m := NewMatcher(net, 1e-12)
+	if got, ok := m.Match(geo.Pt(0.5, 0)); !ok || net.Segment(got).Geom.DistToPointSq(geo.Pt(0.5, 0)) != 0 {
+		t.Fatalf("on-segment point match = (%d,%v), want exact-distance hit", got, ok)
+	}
+	if _, ok := m.Match(geo.Pt(0.5, 1e-6)); ok {
+		t.Fatal("point 1e-6 away matched at radius 1e-12")
+	}
+	// Extreme and non-finite query points must neither panic nor match.
+	for _, p := range []geo.Point{geo.Pt(1e300, -1e300), geo.Pt(math.NaN(), 0), geo.Pt(math.Inf(1), math.Inf(-1))} {
+		if _, ok := m.Match(p); ok {
+			t.Fatalf("far point %v matched at radius 1e-12", p)
+		}
+	}
+}
+
+// A matcher built with a NaN radius matches nothing instead of
+// corrupting its grid arithmetic.
+func TestMatcherNaNRadius(t *testing.T) {
+	net := lattice(t, 3)
+	m := NewMatcher(net, math.NaN())
+	if _, ok := m.Match(geo.Pt(0.5, 0)); ok {
+		t.Fatal("NaN-radius matcher matched a point")
+	}
+}
+
+// Regression: with α = 0 the old bound (posTotal − α·length) never fell
+// below the completion threshold, so the search degenerated to
+// exhaustive enumeration of every budget-feasible simple path. The
+// tightened bound — collected + budget-reachable uncollected positive
+// interest − α·(length + distToDst) — must actually prune there.
+func TestTopKRoutesBoundPrunesAtAlphaZero(t *testing.T) {
+	net := lattice(t, 5)
+	g := NewGraph(net, 0)
+	src := vertexAt(t, net, 0, 0)
+	dst := vertexAt(t, net, 4, 4)
+	rs, st, err := TopKRoutes(context.Background(), g, hashInterest,
+		RouteQuery{Src: src, Dst: dst, K: 2, Budget: 12, Alpha: 0}, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("routes = %d, want 2", len(rs))
+	}
+	if st.PrunedBound == 0 {
+		t.Fatalf("no bound prunes at alpha=0: %+v", st)
+	}
+}
+
 func TestTrajQueryValidation(t *testing.T) {
 	net := lattice(t, 3)
 	m := NewMatcher(net, 0.2)
@@ -359,6 +417,8 @@ func TestTrajQueryValidation(t *testing.T) {
 		{Traces: tr, K: 0, Radius: 0.2},
 		{Traces: tr, K: 1, Radius: 0},
 		{Traces: nil, K: 1, Radius: 0.2},
+		{Traces: tr, K: 1, Radius: math.NaN()},
+		{Traces: tr, K: 1, Radius: math.Inf(1)},
 	}
 	for i, q := range bad {
 		if _, _, err := TrajectorySOI(ctx, m, hashInterest, q); err == nil {

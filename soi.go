@@ -201,6 +201,8 @@ type Engine struct {
 	trajGateOnce sync.Once
 	trajGate     chan struct{}
 	trajWaiters  atomic.Int64
+	trajMatchMu  sync.Mutex
+	trajMatchers map[float64]*traj.Matcher
 }
 
 // ErrUnknownStreet is returned by DescribeStreet for a street name that

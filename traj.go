@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/core"
@@ -85,6 +86,39 @@ func (e *Engine) trajGraphLazy() *traj.Graph {
 		e.trajG = traj.NewGraph(e.net, traj.DefaultSnap(e.net))
 	})
 	return e.trajG
+}
+
+// trajMatcherCacheSize bounds the per-radius matcher cache. The network
+// is immutable, so a matcher never goes stale; the bound only stops
+// requests sweeping distinct radii from growing the map without limit —
+// past it, matchers are built per query and not retained.
+const trajMatcherCacheSize = 8
+
+// trajMatcherLazy returns the map-matching grid for one snap radius,
+// cached across queries (the default radius is the common case, paid
+// once — mirroring trajGraphLazy). Construction happens outside the
+// lock so concurrent first requests for different radii don't serialize;
+// a racing duplicate build is benign (identical, immutable matchers).
+func (e *Engine) trajMatcherLazy(radius float64) *traj.Matcher {
+	e.trajMatchMu.Lock()
+	if m, ok := e.trajMatchers[radius]; ok {
+		e.trajMatchMu.Unlock()
+		return m
+	}
+	e.trajMatchMu.Unlock()
+	m := traj.NewMatcher(e.net, radius)
+	e.trajMatchMu.Lock()
+	defer e.trajMatchMu.Unlock()
+	if cached, ok := e.trajMatchers[radius]; ok {
+		return cached
+	}
+	if e.trajMatchers == nil {
+		e.trajMatchers = make(map[float64]*traj.Matcher)
+	}
+	if len(e.trajMatchers) < trajMatcherCacheSize {
+		e.trajMatchers[radius] = m
+	}
+	return m
 }
 
 // servingIndex resolves the index queries should run against: the
@@ -253,8 +287,8 @@ func (e *Engine) TrajectorySOICtx(ctx context.Context, q TrajectoryQuery) (resul
 	if radius == 0 {
 		radius = traj.DefaultSnap(e.net)
 	}
-	if radius <= 0 {
-		return nil, fmt.Errorf("soi: non-positive match radius %v", radius)
+	if !(radius > 0) || math.IsInf(radius, 1) {
+		return nil, fmt.Errorf("soi: match radius %v is not a positive finite number", radius)
 	}
 	traces := make([][]geo.Point, len(q.Traces))
 	for i, tr := range q.Traces {
@@ -266,7 +300,7 @@ func (e *Engine) TrajectorySOICtx(ctx context.Context, q TrajectoryQuery) (resul
 	}
 	ix := e.servingIndex()
 	set, _ := ix.POIs().Dict().LookupAll(q.Keywords)
-	m := traj.NewMatcher(e.net, radius)
+	m := e.trajMatcherLazy(radius)
 	res, st, err := traj.TrajectorySOI(qctx, m, func(sid network.SegmentID) float64 {
 		return ix.SegmentInterest(sid, set, q.Epsilon)
 	}, traj.TrajQuery{Traces: traces, K: q.K, Radius: radius})

@@ -3,6 +3,7 @@ package soi_test
 import (
 	"context"
 	"errors"
+	"math"
 	"testing"
 	"time"
 
@@ -132,6 +133,48 @@ func TestEngineTrajectorySOI(t *testing.T) {
 
 	if _, err := e.TrajectorySOI(soi.TrajectoryQuery{Keywords: []string{"shop"}, K: 3}); !errors.Is(err, soi.ErrNoTraces) {
 		t.Fatalf("err = %v, want ErrNoTraces", err)
+	}
+}
+
+// Regression: a request-supplied radius orders of magnitude below the
+// network extent must be answered (with few or no matches), not wedge a
+// worker building an unbounded matching grid; a NaN radius is rejected.
+// Repeats of the default-radius query hit the cached matcher and must
+// return identical results.
+func TestEngineTrajectorySOIRadiusEdgeCases(t *testing.T) {
+	e := trajEngine(t, soi.Config{})
+	q := soi.TrajectoryQuery{
+		Traces:   [][]soi.Point{{{X: 0.0001, Y: 0.00101}, {X: 0.001, Y: 0.00099}}},
+		Keywords: []string{"shop"}, K: 5, Epsilon: 0.0005,
+	}
+
+	tiny := q
+	tiny.Radius = 1e-15
+	if _, err := e.TrajectorySOI(tiny); err != nil {
+		t.Fatalf("tiny radius: %v", err)
+	}
+
+	nan := q
+	nan.Radius = math.NaN()
+	if _, err := e.TrajectorySOI(nan); err == nil {
+		t.Fatal("NaN radius accepted")
+	}
+
+	first, err := e.TrajectorySOI(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.TrajectorySOI(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("cached-matcher repeat changed answer size: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("cached-matcher repeat diverged at %d: %+v vs %+v", i, first[i], second[i])
+		}
 	}
 }
 
